@@ -1,0 +1,89 @@
+// Command datagen exports the synthetic evaluation datasets to CSV:
+//
+//	datagen -dataset food -tuples 3000 -out food
+//
+// writes food_dirty.csv, food_truth.csv, food_constraints.txt, and, when
+// the dataset has an external dictionary, food_dict.csv — everything
+// cmd/holoclean needs to run the workload from files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"holoclean/internal/datagen"
+)
+
+func main() {
+	var (
+		name   = flag.String("dataset", "hospital", "hospital | flights | food | physicians | figure1")
+		tuples = flag.Int("tuples", 0, "dataset size (0 = generator default)")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		out    = flag.String("out", "", "output file prefix (default: dataset name)")
+	)
+	flag.Parse()
+
+	cfg := datagen.Config{Tuples: *tuples, Seed: *seed}
+	var g *datagen.Generated
+	switch *name {
+	case "hospital":
+		g = datagen.Hospital(cfg)
+	case "flights":
+		g = datagen.Flights(cfg)
+	case "food":
+		g = datagen.Food(cfg)
+	case "physicians":
+		g = datagen.Physicians(cfg)
+	case "figure1":
+		g = datagen.Figure1()
+	default:
+		log.Fatalf("unknown dataset %q", *name)
+	}
+	prefix := *out
+	if prefix == "" {
+		prefix = g.Name
+	}
+
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	must(g.Dirty.WriteCSVFile(prefix + "_dirty.csv"))
+	must(g.Truth.WriteCSVFile(prefix + "_truth.csv"))
+
+	dcFile, err := os.Create(prefix + "_constraints.txt")
+	must(err)
+	for _, c := range g.Constraints {
+		fmt.Fprintf(dcFile, "%s: %s\n", c.Name, c.String())
+	}
+	must(dcFile.Close())
+
+	if len(g.Dictionaries) > 0 {
+		d := g.Dictionaries[0]
+		f, err := os.Create(prefix + "_dict.csv")
+		must(err)
+		for i, a := range d.Attrs {
+			if i > 0 {
+				fmt.Fprint(f, ",")
+			}
+			fmt.Fprint(f, a)
+		}
+		fmt.Fprintln(f)
+		for _, row := range d.Rows {
+			for i, v := range row {
+				if i > 0 {
+					fmt.Fprint(f, ",")
+				}
+				fmt.Fprint(f, v)
+			}
+			fmt.Fprintln(f)
+		}
+		must(f.Close())
+	}
+
+	fmt.Printf("%s: %d tuples, %d attrs, %d injected errors, %d constraints → %s_*.csv\n",
+		g.Name, g.Dirty.NumTuples(), g.Dirty.NumAttrs(), g.InjectedErrors, len(g.Constraints), prefix)
+}

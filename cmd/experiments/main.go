@@ -1,0 +1,98 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Section 6) on the synthetic dataset substrate:
+//
+//	experiments -exp table2|table3|table4|figure3|figure4|figure5|figure6|external|ablation|all
+//
+// Dataset sizes are configurable; defaults are laptop-scale (see
+// DESIGN.md substitution 5 and EXPERIMENTS.md for paper-vs-measured).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"holoclean/internal/datagen"
+	"holoclean/internal/harness"
+)
+
+func main() {
+	var (
+		exp        = flag.String("exp", "all", "experiment to run: table2, table3, table4, figure3, figure4, figure5, figure6, external, ablation, all")
+		hospital   = flag.Int("hospital", 1000, "Hospital tuples")
+		flights    = flag.Int("flights", 2377, "Flights tuples")
+		food       = flag.Int("food", 3000, "Food tuples")
+		physicians = flag.Int("physicians", 5000, "Physicians tuples")
+		seed       = flag.Int64("seed", 1, "generator seed")
+		timeout    = flag.Duration("timeout", 5*time.Minute, "per-baseline wall-clock budget")
+	)
+	flag.Parse()
+	cfg := harness.Config{
+		HospitalTuples:   *hospital,
+		FlightsTuples:    *flights,
+		FoodTuples:       *food,
+		PhysiciansTuples: *physicians,
+		Seed:             *seed,
+		BaselineTimeout:  *timeout,
+	}
+	w := os.Stdout
+	run := func(name string) bool { return *exp == name || *exp == "all" }
+
+	if run("table2") {
+		fmt.Fprintln(w, "=== Table 2: dataset parameters ===")
+		rows, err := harness.Table2(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		harness.PrintTable2(w, rows)
+		fmt.Fprintln(w)
+	}
+	if run("table3") || run("table4") {
+		fmt.Fprintln(w, "=== Tables 3 & 4: repair accuracy and runtimes ===")
+		rows := harness.Table3(cfg)
+		harness.PrintTable3(w, rows)
+		fmt.Fprintln(w)
+		harness.PrintTable4(w, rows)
+		fmt.Fprintln(w)
+	}
+	if run("figure3") {
+		fmt.Fprintln(w, "=== Figure 3: pruning threshold vs precision/recall ===")
+		harness.PrintFigure3(w, harness.Figure3(cfg))
+		fmt.Fprintln(w)
+	}
+	if run("figure4") {
+		fmt.Fprintln(w, "=== Figure 4: pruning threshold vs compile/repair runtime ===")
+		harness.PrintFigure4(w, harness.Figure4(cfg))
+		fmt.Fprintln(w)
+	}
+	if run("figure5") {
+		fmt.Fprintln(w, "=== Figure 5: HoloClean variants on Food ===")
+		harness.PrintFigure5(w, harness.Figure5(cfg))
+		fmt.Fprintln(w)
+	}
+	if run("figure6") {
+		fmt.Fprintln(w, "=== Figure 6: marginal-probability calibration ===")
+		harness.PrintFigure6(w, harness.Figure6(cfg))
+		fmt.Fprintln(w)
+	}
+	if run("external") {
+		fmt.Fprintln(w, "=== Section 6.3.2: external dictionaries ===")
+		harness.PrintMicroExternal(w, harness.MicroExternalDictionaries(cfg))
+		fmt.Fprintln(w)
+	}
+	if run("ablation") {
+		fmt.Fprintln(w, "=== Section 5.1 ablations: grounding size and partitioning ===")
+		g := datagen.Food(datagen.Config{Tuples: min(cfg.FoodTuples, 2000), Seed: cfg.Seed})
+		rows, err := harness.AblationGroundingSize(g)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		harness.PrintGroundingSize(w, rows)
+		fmt.Fprintln(w)
+		harness.PrintPartitioning(w, harness.AblationPartitioning(g))
+		fmt.Fprintln(w)
+	}
+}

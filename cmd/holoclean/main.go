@@ -1,0 +1,185 @@
+// Command holoclean cleans a CSV file using denial constraints:
+//
+//	holoclean -data dirty.csv -dc constraints.txt -out repaired.csv
+//
+// The constraints file holds one denial constraint per line in the
+// textual format (see package dc), e.g.
+//
+//	c1: t1&t2&EQ(t1.Zip,t2.Zip)&IQ(t1.City,t2.City)
+//
+// An optional external dictionary CSV can be supplied with -dict; its
+// first column set is matched by name against the data schema via
+// "-match Zip=Ext_Zip:City=Ext_City"-style dependencies.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"holoclean"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "dirty CSV file (header row required)")
+		dcPath    = flag.String("dc", "", "denial constraints file")
+		discover  = flag.Bool("discover", false, "discover approximate FDs from the data instead of (or in addition to) -dc")
+		epsilon   = flag.Float64("epsilon", 0.05, "violation tolerance for -discover")
+		outPath   = flag.String("out", "", "output CSV for the repaired dataset (default: stdout)")
+		srcColumn = flag.String("source", "", "name of a provenance column (enables source-reliability features)")
+		dictPath  = flag.String("dict", "", "optional external dictionary CSV")
+		matchSpec = flag.String("match", "", "matching dependencies: cond=DictCol[,cond2=DictCol2]>Attr=DictCol per dependency, ';' separated")
+		tau       = flag.Float64("tau", 0.5, "domain pruning threshold (Algorithm 2)")
+		variant   = flag.String("variant", "feats", "model variant: feats, factors, factors+part, feats+factors, feats+factors+part")
+		outliers  = flag.Bool("outliers", false, "add outlier-based error detection")
+		seed      = flag.Int64("seed", 1, "random seed")
+		verbose   = flag.Bool("v", false, "print repairs and marginals")
+	)
+	flag.Parse()
+	if *dataPath == "" || (*dcPath == "" && !*discover) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ds, err := holoclean.LoadCSV(*dataPath, *srcColumn)
+	if err != nil {
+		log.Fatalf("loading data: %v", err)
+	}
+	var constraints []*holoclean.Constraint
+	if *dcPath != "" {
+		dcFile, err := os.Open(*dcPath)
+		if err != nil {
+			log.Fatalf("opening constraints: %v", err)
+		}
+		constraints, err = holoclean.ParseConstraints(dcFile)
+		dcFile.Close()
+		if err != nil {
+			log.Fatalf("parsing constraints: %v", err)
+		}
+	}
+	if *discover {
+		mined := holoclean.DiscoverConstraints(ds, *epsilon, 1)
+		fmt.Fprintf(os.Stderr, "holoclean: discovered %d approximate FDs\n", len(mined))
+		for _, c := range mined {
+			fmt.Fprintf(os.Stderr, "  %s: %s\n", c.Name, c.String())
+		}
+		constraints = append(constraints, mined...)
+	}
+
+	opts := holoclean.DefaultOptions()
+	opts.Tau = *tau
+	opts.Seed = *seed
+	opts.OutlierDetection = *outliers
+	switch *variant {
+	case "feats":
+		opts.Variant = holoclean.VariantDCFeats
+	case "factors":
+		opts.Variant = holoclean.VariantDCFactors
+	case "factors+part":
+		opts.Variant = holoclean.VariantDCFactorsPartitioned
+	case "feats+factors":
+		opts.Variant = holoclean.VariantDCFeatsFactors
+	case "feats+factors+part":
+		opts.Variant = holoclean.VariantDCFeatsFactorsPartitioned
+	default:
+		log.Fatalf("unknown variant %q", *variant)
+	}
+
+	if *dictPath != "" {
+		dict, mds, err := loadDictionary(*dictPath, *matchSpec)
+		if err != nil {
+			log.Fatalf("loading dictionary: %v", err)
+		}
+		opts.Dictionaries = []*holoclean.Dictionary{dict}
+		opts.MatchDependencies = mds
+	}
+
+	res, err := holoclean.New(opts).Clean(ds, constraints)
+	if err != nil {
+		log.Fatalf("cleaning: %v", err)
+	}
+
+	fmt.Fprintf(os.Stderr,
+		"holoclean: %d noisy cells, %d variables, %d factors; %d repairs in %v\n",
+		res.Stats.NoisyCells, res.Stats.Variables, res.Stats.Factors,
+		len(res.Repairs), res.Stats.TotalTime.Round(1e6))
+	if *verbose {
+		for _, r := range res.Repairs {
+			fmt.Fprintf(os.Stderr, "  row %d %s: %q -> %q (p=%.2f)\n",
+				r.Tuple, r.Attr, r.Old, r.New, r.Probability)
+		}
+	}
+
+	if *outPath == "" {
+		if err := res.Repaired.WriteCSV(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := res.Repaired.WriteCSVFile(*outPath); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// loadDictionary reads a dictionary CSV and parses the -match spec into
+// matching dependencies. Each dependency is
+// "DataAttr=DictCol[,DataAttr=DictCol...]>DataAttr=DictCol" —
+// conditions before '>', conclusion after. A '~' prefix on a condition's
+// data attribute requests approximate matching.
+func loadDictionary(path, spec string) (*holoclean.Dictionary, []*holoclean.MatchDependency, error) {
+	ds, err := holoclean.LoadCSV(path, "")
+	if err != nil {
+		return nil, nil, err
+	}
+	dict := holoclean.NewDictionary("dict", ds.Attrs())
+	row := make([]string, ds.NumAttrs())
+	for t := 0; t < ds.NumTuples(); t++ {
+		for a := range row {
+			row[a] = ds.GetString(t, a)
+		}
+		dict.Append(row)
+	}
+	var mds []*holoclean.MatchDependency
+	for i, dep := range strings.Split(spec, ";") {
+		dep = strings.TrimSpace(dep)
+		if dep == "" {
+			continue
+		}
+		parts := strings.SplitN(dep, ">", 2)
+		if len(parts) != 2 {
+			return nil, nil, fmt.Errorf("dependency %q needs conditions>conclusion", dep)
+		}
+		md := &holoclean.MatchDependency{Name: fmt.Sprintf("m%d", i+1), Dict: "dict"}
+		for _, cond := range strings.Split(parts[0], ",") {
+			term, err := parseTerm(cond)
+			if err != nil {
+				return nil, nil, err
+			}
+			md.Conditions = append(md.Conditions, term)
+		}
+		conc, err := parseTerm(parts[1])
+		if err != nil {
+			return nil, nil, err
+		}
+		md.Conclusion = conc
+		mds = append(mds, md)
+	}
+	if len(mds) == 0 {
+		return nil, nil, fmt.Errorf("-dict requires -match dependencies")
+	}
+	return dict, mds, nil
+}
+
+func parseTerm(s string) (holoclean.MatchTerm, error) {
+	s = strings.TrimSpace(s)
+	approx := strings.HasPrefix(s, "~")
+	s = strings.TrimPrefix(s, "~")
+	kv := strings.SplitN(s, "=", 2)
+	if len(kv) != 2 {
+		return holoclean.MatchTerm{}, fmt.Errorf("term %q needs DataAttr=DictCol", s)
+	}
+	return holoclean.MatchTerm{DataAttr: kv[0], DictAttr: kv[1], Approx: approx}, nil
+}

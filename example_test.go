@@ -1,0 +1,82 @@
+package holoclean_test
+
+import (
+	"fmt"
+	"strings"
+
+	"holoclean"
+)
+
+// Example repairs the minority zip code in a small duplicate group using
+// a functional dependency.
+func Example() {
+	ds := holoclean.NewDataset([]string{"Name", "Zip"})
+	for i := 0; i < 5; i++ {
+		ds.Append([]string{"Johnnyo's", "60608"})
+	}
+	ds.Append([]string{"Johnnyo's", "60609"}) // the error
+
+	constraints := holoclean.FD("c1", []string{"Name"}, []string{"Zip"})
+	res, err := holoclean.New(holoclean.DefaultOptions()).Clean(ds, constraints)
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range res.Repairs {
+		fmt.Printf("row %d %s: %s -> %s\n", r.Tuple, r.Attr, r.Old, r.New)
+	}
+	// Output:
+	// row 5 Zip: 60609 -> 60608
+}
+
+// ExampleParseConstraints shows the denial-constraint file format.
+func ExampleParseConstraints() {
+	constraints, err := holoclean.ParseConstraints(strings.NewReader(`
+# Zip determines City (Example 2 of the paper)
+c2: t1&t2&EQ(t1.Zip,t2.Zip)&IQ(t1.City,t2.City)
+`))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(constraints[0].Name, constraints[0].String())
+	// Output:
+	// c2 t1&t2&EQ(t1.Zip,t2.Zip)&IQ(t1.City,t2.City)
+}
+
+// ExampleCleaner_Explain inspects the compiled probabilistic program
+// without running inference.
+func ExampleCleaner_Explain() {
+	ds := holoclean.NewDataset([]string{"A", "B"})
+	ds.Append([]string{"k", "1"})
+	ds.Append([]string{"k", "2"})
+	ds.Append([]string{"k", "1"})
+
+	ex, err := holoclean.New(holoclean.DefaultOptions()).
+		Explain(ds, holoclean.FD("fd", []string{"A"}, []string{"B"}))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(strings.Split(ex.Program, "\n")[0])
+	fmt.Println("query variables:", ex.QueryVariables)
+	// Output:
+	// Value?(t, a, d) :- Domain(t, a, d)
+	// query variables: 6
+}
+
+// ExampleCleaner_CleanWithFeedback closes the paper's user-feedback loop:
+// verify a low-confidence repair, feed it back, re-clean.
+func ExampleCleaner_CleanWithFeedback() {
+	ds := holoclean.NewDataset([]string{"Key", "Val"})
+	ds.Append([]string{"k", "a"})
+	ds.Append([]string{"k", "b"}) // ambiguous 1-vs-1 conflict
+	cl := holoclean.New(holoclean.DefaultOptions())
+	constraints := holoclean.FD("fd", []string{"Key"}, []string{"Val"})
+
+	confirmed := []holoclean.Feedback{{Cell: holoclean.Cell{Tuple: 0, Attr: 1}, Value: "a"}}
+	res, err := cl.CleanWithFeedback(ds, constraints, confirmed)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Repaired.GetString(1, 1))
+	// Output:
+	// a
+}

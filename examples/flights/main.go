@@ -1,0 +1,60 @@
+// Flights runs HoloClean on the cross-source conflict workload: web
+// sources of varying reliability report flight departure/arrival times
+// and mostly disagree. The example shows how tuple provenance feeds the
+// source-reliability fusion signal ([35]) that carries this dataset —
+// with provenance features disabled, repairs collapse toward majority
+// voting and quality drops.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"holoclean"
+	"holoclean/internal/datagen"
+	"holoclean/internal/metrics"
+)
+
+func main() {
+	var (
+		tuples = flag.Int("tuples", 2377, "dataset size (paper scale by default)")
+		seed   = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	g := datagen.Flights(datagen.Config{Tuples: *tuples, Seed: *seed})
+	fmt.Printf("Flights: %d report tuples, %d erroneous cells (%0.1f%% of data)\n\n",
+		g.Dirty.NumTuples(), g.InjectedErrors,
+		100*float64(g.InjectedErrors)/float64(g.Dirty.NumCells()))
+
+	run := func(label string, disableSources bool) {
+		opts := holoclean.DefaultOptions()
+		opts.Tau = 0.3 // the paper's τ for Flights
+		opts.Seed = *seed
+		opts.DisableSourceFeatures = disableSources
+		res, err := holoclean.New(opts).Clean(g.Dirty, g.Constraints)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e := metrics.Evaluate(g.Dirty, res.Repaired, g.Truth)
+		fmt.Printf("%-28s Prec %.3f  Rec %.3f  F1 %.3f  (%d repairs, %v)\n",
+			label, e.Precision, e.Recall, e.F1, len(res.Repairs), res.Stats.TotalTime.Round(1e6))
+	}
+	run("with source fusion", false)
+	run("without source fusion", true)
+
+	// Show one repaired flight in detail.
+	opts := holoclean.DefaultOptions()
+	opts.Tau = 0.3
+	res, err := holoclean.New(opts).Clean(g.Dirty, g.Constraints)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(res.Repairs) > 0 {
+		r := res.Repairs[0]
+		flight := g.Dirty.GetString(r.Tuple, g.Dirty.AttrIndex("Flight"))
+		fmt.Printf("\nExample: flight %s, %s reported %q by %s; repaired to %q (confidence %.2f)\n",
+			flight, r.Attr, r.Old, g.Dirty.Source(r.Tuple), r.New, r.Probability)
+	}
+}

@@ -1,0 +1,54 @@
+package holoclean
+
+import (
+	"fmt"
+	"sort"
+
+	"holoclean/internal/dataset"
+)
+
+// Feedback is a user-confirmed cell value — the raw material of the
+// paper's Section 2.2 feedback loop: "we can ask users to verify repairs
+// with low marginal probabilities and use those as labeled examples to
+// retrain the parameters of HoloClean's model".
+type Feedback struct {
+	Cell  Cell
+	Value string
+}
+
+// LowConfidenceRepairs returns the proposed repairs whose marginal
+// probability is below threshold, ordered by ascending confidence — the
+// repairs worth soliciting user verification for.
+func (r *Result) LowConfidenceRepairs(threshold float64) []Repair {
+	var out []Repair
+	for _, rep := range r.Repairs {
+		if rep.Probability < threshold {
+			out = append(out, rep)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Probability < out[j].Probability })
+	return out
+}
+
+// CleanWithFeedback re-runs the pipeline with user-confirmed values:
+// each confirmed cell is set to its confirmed value, excluded from the
+// noisy set, and force-included as labeled evidence for weight learning.
+// The input dataset is not modified.
+func (cl *Cleaner) CleanWithFeedback(ds *Dataset, constraints []*Constraint, feedback []Feedback) (*Result, error) {
+	if len(feedback) == 0 {
+		return cl.Clean(ds, constraints)
+	}
+	work := ds.Clone()
+	trusted := make([]dataset.Cell, 0, len(feedback))
+	for _, f := range feedback {
+		if f.Cell.Tuple < 0 || f.Cell.Tuple >= work.NumTuples() ||
+			f.Cell.Attr < 0 || f.Cell.Attr >= work.NumAttrs() {
+			return nil, fmt.Errorf("holoclean: feedback cell %+v out of range", f.Cell)
+		}
+		work.SetString(f.Cell.Tuple, f.Cell.Attr, f.Value)
+		trusted = append(trusted, f.Cell)
+	}
+	sub := *cl
+	sub.trusted = trusted
+	return sub.Clean(work, constraints)
+}

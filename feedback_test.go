@@ -1,0 +1,69 @@
+package holoclean
+
+import "testing"
+
+func TestFeedbackLoop(t *testing.T) {
+	// An ambiguous 1-1 conflict the model may resolve either way; user
+	// feedback pins the truth and the re-run must respect it.
+	ds := NewDataset([]string{"Key", "Val"})
+	ds.Append([]string{"k", "a"})
+	ds.Append([]string{"k", "b"})
+	for i := 0; i < 6; i++ {
+		ds.Append([]string{"x", "c"})
+	}
+	cs := FD("fd", []string{"Key"}, []string{"Val"})
+	cl := New(DefaultOptions())
+	res, err := cl.Clean(ds, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := res.LowConfidenceRepairs(1.01)
+	for i := 1; i < len(low); i++ {
+		if low[i-1].Probability > low[i].Probability {
+			t.Errorf("LowConfidenceRepairs not sorted")
+		}
+	}
+	// Confirm tuple 0's value is "a": tuple 1 must become "a" too.
+	res2, err := cl.CleanWithFeedback(ds, cs, []Feedback{{Cell: Cell{Tuple: 0, Attr: 1}, Value: "a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res2.Repaired.GetString(0, 1); got != "a" {
+		t.Errorf("confirmed cell changed to %q", got)
+	}
+	if got := res2.Repaired.GetString(1, 1); got != "a" {
+		t.Errorf("conflicting cell = %q, want the confirmed value a", got)
+	}
+	// The confirmed cell must not appear among repairs or marginals.
+	if res2.MarginalOf(Cell{Tuple: 0, Attr: 1}) != nil {
+		t.Errorf("confirmed cell should not be a query variable")
+	}
+	// Input untouched.
+	if ds.GetString(0, 1) != "a" || ds.GetString(1, 1) != "b" {
+		t.Errorf("input mutated")
+	}
+}
+
+func TestFeedbackOutOfRange(t *testing.T) {
+	ds := NewDataset([]string{"A", "B"})
+	ds.Append([]string{"x", "y"})
+	cs := FD("fd", []string{"A"}, []string{"B"})
+	if _, err := New(DefaultOptions()).CleanWithFeedback(ds, cs, []Feedback{{Cell: Cell{Tuple: 5, Attr: 0}, Value: "z"}}); err == nil {
+		t.Errorf("out-of-range feedback should fail")
+	}
+}
+
+func TestFeedbackEmptyFallsThrough(t *testing.T) {
+	ds, cs := smallDirty()
+	r1, err := New(DefaultOptions()).CleanWithFeedback(ds, cs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := New(DefaultOptions()).Clean(ds, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Repaired.Equal(r2.Repaired) {
+		t.Errorf("empty feedback should be identical to Clean")
+	}
+}

@@ -1,0 +1,411 @@
+// Package holoclean is a from-scratch Go implementation of HoloClean
+// (Rekatsinas, Chu, Ilyas, Ré — "HoloClean: Holistic Data Repairs with
+// Probabilistic Inference", VLDB 2017). HoloClean unifies three families
+// of data-repairing signals — integrity constraints (denial constraints),
+// external dictionaries matched through matching dependencies, and
+// quantitative statistics of the dirty dataset itself — by compiling them
+// into a single probabilistic program. Grounding that program yields a
+// factor graph; weight learning and Gibbs sampling over the graph produce
+// a marginal distribution per noisy cell, and repairs are the maximum a
+// posteriori values.
+//
+// Basic usage:
+//
+//	ds, _ := holoclean.LoadCSV("dirty.csv", "")
+//	dcs, _ := holoclean.ParseConstraints(strings.NewReader(
+//	    "c1: t1&t2&EQ(t1.Zip,t2.Zip)&IQ(t1.City,t2.City)"))
+//	res, _ := holoclean.New(holoclean.DefaultOptions()).Clean(ds, dcs)
+//	for _, r := range res.Repairs {
+//	    fmt.Printf("%s[%d]: %q → %q (p=%.2f)\n", r.Attr, r.Tuple, r.Old, r.New, r.Probability)
+//	}
+//
+// The pipeline follows Figure 2 of the paper: (1) error detection splits
+// cells into noisy and clean; (2) compilation generates a DDlog-style
+// program whose rules encode each signal and grounds it, with the
+// scalability optimizations of Section 5 (domain pruning via Algorithm 2,
+// tuple partitioning via Algorithm 3, and relaxation of hard constraints
+// to features per Section 5.2); (3) repair runs SGD weight learning on
+// clean-cell evidence and Gibbs sampling for marginals.
+package holoclean
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"holoclean/internal/compile"
+	"holoclean/internal/dataset"
+	"holoclean/internal/dc"
+	"holoclean/internal/discovery"
+	"holoclean/internal/errordetect"
+	"holoclean/internal/extdict"
+	"holoclean/internal/gibbs"
+	"holoclean/internal/learn"
+)
+
+// Dataset is a relational instance to be cleaned. See NewDataset, LoadCSV
+// and ReadCSV for constructors.
+type Dataset = dataset.Dataset
+
+// Cell identifies one cell (tuple index, attribute index) of a Dataset.
+type Cell = dataset.Cell
+
+// Constraint is a denial constraint (Section 3.1).
+type Constraint = dc.Constraint
+
+// Dictionary is an external reference relation (Section 4.1's ExtDict).
+type Dictionary = extdict.Dictionary
+
+// MatchDependency aligns dataset attributes with dictionary attributes
+// (Figure 1(C)).
+type MatchDependency = extdict.MatchDependency
+
+// MatchTerm is one attribute correspondence of a MatchDependency.
+type MatchTerm = extdict.Term
+
+// Variant selects how denial constraints enter the probabilistic model
+// (the axis of Figure 5). The zero Variant is invalid; use one of the
+// predefined values or set at least one field.
+type Variant = compile.Variant
+
+// The five model variants of Figure 5.
+var (
+	// VariantDCFeats relaxes constraints to features over independent
+	// random variables (Section 5.2) — the configuration behind the
+	// paper's headline Table 3 numbers.
+	VariantDCFeats = compile.DCFeats
+	// VariantDCFactors grounds Algorithm 1 correlation factors.
+	VariantDCFactors = compile.DCFactorsOnly
+	// VariantDCFactorsPartitioned adds Algorithm 3 partitioning.
+	VariantDCFactorsPartitioned = compile.DCFactorsPartitioned
+	// VariantDCFeatsFactors combines features with correlation factors.
+	VariantDCFeatsFactors = compile.DCFeatsFactors
+	// VariantDCFeatsFactorsPartitioned adds partitioning to the combined
+	// model.
+	VariantDCFeatsFactorsPartitioned = compile.DCFeatsFactorsPartTwo
+)
+
+// NewDataset creates an empty dataset with the given attribute names.
+func NewDataset(attrs []string) *Dataset { return dataset.New(attrs) }
+
+// LoadCSV reads a dataset from a CSV file; the first row is the schema.
+// If sourceColumn is non-empty that column becomes per-tuple provenance
+// used for source-reliability features.
+func LoadCSV(path, sourceColumn string) (*Dataset, error) {
+	return dataset.ReadCSVFile(path, sourceColumn)
+}
+
+// ReadCSV is LoadCSV over an io.Reader.
+func ReadCSV(r io.Reader, sourceColumn string) (*Dataset, error) {
+	return dataset.ReadCSV(r, sourceColumn)
+}
+
+// ParseConstraint parses one denial constraint, e.g.
+// "t1&t2&EQ(t1.Zip,t2.Zip)&IQ(t1.City,t2.City)".
+func ParseConstraint(s string) (*Constraint, error) { return dc.Parse(s) }
+
+// MustParseConstraint is ParseConstraint that panics on error.
+func MustParseConstraint(s string) *Constraint { return dc.MustParse(s) }
+
+// ParseConstraints parses one constraint per line ('#' comments allowed;
+// an optional "name:" prefix names the constraint).
+func ParseConstraints(r io.Reader) ([]*Constraint, error) { return dc.ParseAll(r) }
+
+// FD builds the denial constraints for the functional dependency
+// lhs… → rhs… (Example 2).
+func FD(name string, lhs, rhs []string) []*Constraint { return dc.FD(name, lhs, rhs) }
+
+// DiscoverConstraints mines approximate functional dependencies from the
+// (mostly clean) dataset and returns them as denial constraints — the
+// constraint-discovery step [11] HoloClean's inputs usually come from.
+// epsilon is the tolerated violation rate (0 means 0.05); maxLHS bounds
+// the left-hand-side size (1 or 2).
+func DiscoverConstraints(ds *Dataset, epsilon float64, maxLHS int) []*Constraint {
+	fds := discovery.Discover(ds, discovery.Config{Epsilon: epsilon, MaxLHS: maxLHS})
+	return discovery.Constraints(ds, fds)
+}
+
+// NewDictionary creates an external dictionary with the given schema.
+func NewDictionary(name string, attrs []string) *Dictionary {
+	return extdict.NewDictionary(name, attrs)
+}
+
+// Options configures the cleaner. The zero value is not usable; start
+// from DefaultOptions.
+type Options struct {
+	// Tau is the domain-pruning threshold τ of Algorithm 2.
+	Tau float64
+	// MaxCandidates caps each noisy cell's candidate set (0 = uncapped).
+	MaxCandidates int
+	// FullDomain disables Algorithm 2 (every value of the attribute's
+	// active domain becomes a candidate) — the no-pruning ablation.
+	FullDomain bool
+	// Variant selects the denial-constraint encoding.
+	Variant Variant
+	// MinimalityWeight is the fixed prior toward keeping initial values.
+	MinimalityWeight float64
+	// DCWeight is the fixed soft weight of Algorithm 1 factors.
+	DCWeight float64
+	// EvidenceSample bounds the clean cells used as labeled examples.
+	EvidenceSample int
+	// OutlierDetection adds the categorical-outlier error detector on
+	// top of constraint-violation detection.
+	OutlierDetection bool
+	// Dictionaries and MatchDependencies supply external data.
+	Dictionaries      []*Dictionary
+	MatchDependencies []*MatchDependency
+	// DictionaryPrior is the initial (learnable) reliability weight w(k)
+	// of dictionary match factors.
+	DictionaryPrior float64
+	// RelaxedDCPrior is the initial (learnable) weight of relaxed
+	// denial-constraint features.
+	RelaxedDCPrior float64
+	// DisableCooccurFeatures turns off the quantitative-statistics signal
+	// (for ablations).
+	DisableCooccurFeatures bool
+	// DisableSourceFeatures turns off provenance features.
+	DisableSourceFeatures bool
+	// LearningEpochs, LearningRate, L2 configure SGD (Section 2.2's ERM).
+	LearningEpochs int
+	LearningRate   float64
+	L2             float64
+	// GibbsBurnIn and GibbsSamples configure the sampler.
+	GibbsBurnIn  int
+	GibbsSamples int
+	// ExactInference replaces Gibbs with the closed-form posterior when
+	// the model has independent query variables (Section 5.2 regime).
+	// With correlation factors present it falls back to Gibbs.
+	ExactInference bool
+	// ParallelInference samples independent query variables across all
+	// CPUs (the DimmWitted [41] regime); deterministic per seed. It has
+	// no effect on models with correlation factors.
+	ParallelInference bool
+	// MaxScanCounterparts caps DC grounding when no equality predicate
+	// can index the join (0 = unlimited).
+	MaxScanCounterparts int
+	// Seed drives every stochastic component.
+	Seed int64
+}
+
+// DefaultOptions mirrors the paper's defaults: τ=0.5, the DC Feats
+// variant, and modest learning/sampling budgets.
+func DefaultOptions() Options {
+	return Options{
+		Tau:               0.5,
+		Variant:           VariantDCFeats,
+		MinimalityWeight:  0.5,
+		DCWeight:          4.0,
+		EvidenceSample:    2000,
+		DictionaryPrior:   2.0,
+		RelaxedDCPrior:    1.5,
+		LearningEpochs:    10,
+		LearningRate:      0.1,
+		L2:                1e-4,
+		GibbsBurnIn:       10,
+		GibbsSamples:      50,
+		ParallelInference: true,
+		Seed:              1,
+	}
+}
+
+// ValueProb is one entry of a cell's marginal distribution.
+type ValueProb struct {
+	Value string
+	P     float64
+}
+
+// Repair is one proposed cell update with its marginal probability —
+// HoloClean's rigorous confidence semantics (Section 2.2).
+type Repair struct {
+	Cell        Cell
+	Attr        string
+	Tuple       int
+	Old         string
+	New         string
+	Probability float64
+}
+
+// RunStats aggregates sizes and timings of one cleaning run.
+type RunStats struct {
+	NoisyCells   int
+	Variables    int
+	QueryVars    int
+	EvidenceVars int
+	Factors      int
+	PaperFactors int64
+	Weights      int
+
+	DetectTime  time.Duration
+	CompileTime time.Duration
+	LearnTime   time.Duration
+	InferTime   time.Duration
+	TotalTime   time.Duration
+}
+
+// Result is the outcome of Clean: the repaired dataset, the repair list,
+// and per-cell marginals.
+type Result struct {
+	// Repaired is a copy of the input with MAP repairs applied.
+	Repaired *Dataset
+	// Repairs lists cells whose MAP value differs from the observed one,
+	// ordered by tuple then attribute.
+	Repairs []Repair
+	// Marginals holds the posterior distribution of every noisy cell
+	// (sorted by decreasing probability).
+	Marginals map[Cell][]ValueProb
+	// Stats reports model sizes and phase timings.
+	Stats RunStats
+}
+
+// MarginalOf returns the posterior of one cell, or nil if the cell was
+// not inferred.
+func (r *Result) MarginalOf(c Cell) []ValueProb { return r.Marginals[c] }
+
+// Cleaner runs the HoloClean pipeline with fixed options.
+type Cleaner struct {
+	opts Options
+	// trusted carries user-confirmed cells from CleanWithFeedback.
+	trusted []dataset.Cell
+}
+
+// New returns a Cleaner.
+func New(opts Options) *Cleaner { return &Cleaner{opts: opts} }
+
+// Clean repairs the dataset under the given denial constraints. The input
+// dataset is not modified.
+func (cl *Cleaner) Clean(ds *Dataset, constraints []*Constraint) (*Result, error) {
+	if len(constraints) == 0 && len(cl.opts.MatchDependencies) == 0 {
+		return nil, fmt.Errorf("holoclean: no repair signals (need constraints or match dependencies)")
+	}
+	start := time.Now()
+	o := cl.opts
+
+	var detectors []errordetect.Detector
+	if len(constraints) > 0 {
+		detectors = append(detectors, &errordetect.Violations{Constraints: constraints})
+	}
+	if o.OutlierDetection {
+		detectors = append(detectors, &errordetect.Outliers{}, &errordetect.CondOutliers{})
+	}
+	if len(o.MatchDependencies) > 0 {
+		matcher, err := extdict.NewMatcher(ds, o.Dictionaries, o.MatchDependencies)
+		if err != nil {
+			return nil, err
+		}
+		detectors = append(detectors, &errordetect.Dictionary{Matcher: matcher})
+	}
+
+	comp, err := compile.Compile(ds, constraints, compile.Options{
+		Tau:                    o.Tau,
+		MaxCandidates:          o.MaxCandidates,
+		FullDomain:             o.FullDomain,
+		Variant:                o.Variant,
+		MinimalityWeight:       o.MinimalityWeight,
+		DCWeight:               o.DCWeight,
+		MaxEvidence:            o.EvidenceSample,
+		Seed:                   o.Seed,
+		Detectors:              detectors,
+		Dictionaries:           o.Dictionaries,
+		MatchDeps:              o.MatchDependencies,
+		DictionaryPrior:        o.DictionaryPrior,
+		RelaxedDCPrior:         o.RelaxedDCPrior,
+		DisableCooccurFeatures: o.DisableCooccurFeatures,
+		DisableSourceFeatures:  o.DisableSourceFeatures,
+		MaxScanCounterparts:    o.MaxScanCounterparts,
+		Trusted:                cl.trusted,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Marginals: make(map[Cell][]ValueProb)}
+	res.Stats.NoisyCells = comp.Detection.NumNoisy()
+	res.Stats.Variables = comp.Grounded.Stats.Variables
+	res.Stats.QueryVars = comp.Grounded.Stats.QueryVars
+	res.Stats.EvidenceVars = comp.Grounded.Stats.EvidenceVars
+	res.Stats.Factors = comp.Grounded.Graph.NumFactors()
+	res.Stats.PaperFactors = comp.Grounded.Stats.PaperFactors
+	res.Stats.Weights = comp.Grounded.Graph.Weights.Len()
+	res.Stats.DetectTime = comp.Timings.Detect
+	res.Stats.CompileTime = comp.Timings.Compile
+
+	// --- Learning (Section 2.2: ERM over the likelihood via SGD) ---
+	g := comp.Grounded.Graph
+	tLearn := time.Now()
+	epochs := o.LearningEpochs
+	if epochs <= 0 {
+		epochs = 10
+	}
+	lr := o.LearningRate
+	if lr == 0 {
+		lr = 0.1
+	}
+	learn.Learn(g, learn.Config{Epochs: epochs, LearningRate: lr, L2: o.L2, Seed: o.Seed})
+	res.Stats.LearnTime = time.Since(tLearn)
+
+	// --- Inference (Gibbs sampling, or exact for independent models) ---
+	tInfer := time.Now()
+	var marg *marginals
+	if o.ExactInference && !g.HasNaryOnQuery() {
+		marg = &marginals{m: gibbs.Exact(g)}
+	} else {
+		burn, samp := o.GibbsBurnIn, o.GibbsSamples
+		if samp <= 0 {
+			samp = 50
+		}
+		if burn <= 0 {
+			burn = 10
+		}
+		marg = &marginals{m: gibbs.Run(g, gibbs.Config{BurnIn: burn, Samples: samp, Seed: o.Seed, Parallel: o.ParallelInference})}
+	}
+	res.Stats.InferTime = time.Since(tInfer)
+
+	// --- Repair extraction (MAP per query variable) ---
+	repaired := ds.Clone()
+	dict := ds.Dict()
+	for vi, c := range comp.Grounded.Cells {
+		v := int32(vi)
+		if g.Vars[v].Evidence {
+			continue
+		}
+		dom := g.Vars[v].Domain
+		dist := make([]ValueProb, len(dom))
+		for d, label := range dom {
+			dist[d] = ValueProb{Value: dict.String(dataset.Value(label)), P: marg.m.Prob(v, d)}
+		}
+		sort.Slice(dist, func(i, j int) bool { return dist[i].P > dist[j].P })
+		res.Marginals[c] = dist
+
+		mapIdx, p := marg.m.MAP(v)
+		newLabel := dataset.Value(dom[mapIdx])
+		if newLabel != ds.Get(c.Tuple, c.Attr) {
+			repaired.Set(c.Tuple, c.Attr, newLabel)
+			res.Repairs = append(res.Repairs, Repair{
+				Cell:        c,
+				Attr:        ds.AttrName(c.Attr),
+				Tuple:       c.Tuple,
+				Old:         ds.GetString(c.Tuple, c.Attr),
+				New:         dict.String(newLabel),
+				Probability: p,
+			})
+		}
+	}
+	sort.Slice(res.Repairs, func(i, j int) bool {
+		if res.Repairs[i].Tuple != res.Repairs[j].Tuple {
+			return res.Repairs[i].Tuple < res.Repairs[j].Tuple
+		}
+		return res.Repairs[i].Cell.Attr < res.Repairs[j].Cell.Attr
+	})
+	res.Repaired = repaired
+	res.Stats.TotalTime = time.Since(start)
+	return res, nil
+}
+
+// marginals adapts factor.Marginals without exposing the internal type.
+type marginals struct {
+	m interface {
+		Prob(v int32, d int) float64
+		MAP(v int32) (int, float64)
+	}
+}

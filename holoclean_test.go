@@ -1,0 +1,226 @@
+package holoclean
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func smallDirty() (*Dataset, []*Constraint) {
+	ds := NewDataset([]string{"Name", "Zip", "City"})
+	ds.Append([]string{"a", "60608", "Chicago"})
+	ds.Append([]string{"a", "60609", "Chicago"})
+	ds.Append([]string{"a", "60608", "Chicago"})
+	ds.Append([]string{"a", "60608", "Chicago"})
+	ds.Append([]string{"b", "60610", "Springfield"})
+	ds.Append([]string{"b", "60610", "Springfield"})
+	var cs []*Constraint
+	cs = append(cs, FD("fd1", []string{"Name"}, []string{"Zip"})...)
+	cs = append(cs, FD("fd2", []string{"Zip"}, []string{"City"})...)
+	return ds, cs
+}
+
+func TestCleanMinorityZip(t *testing.T) {
+	ds, cs := smallDirty()
+	res, err := New(DefaultOptions()).Clean(ds, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Repaired.GetString(1, 1); got != "60608" {
+		t.Errorf("minority zip = %q, want 60608", got)
+	}
+	if len(res.Repairs) == 0 {
+		t.Fatal("expected at least one repair")
+	}
+	r := res.Repairs[0]
+	if r.Old == r.New {
+		t.Errorf("repair with identical old/new")
+	}
+	if r.Probability <= 0 || r.Probability > 1 {
+		t.Errorf("repair probability out of range: %v", r.Probability)
+	}
+}
+
+func TestCleanDoesNotMutateInput(t *testing.T) {
+	ds, cs := smallDirty()
+	before := ds.Clone()
+	if _, err := New(DefaultOptions()).Clean(ds, cs); err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Equal(before) {
+		t.Errorf("Clean mutated the input dataset")
+	}
+}
+
+func TestCleanNoSignalsError(t *testing.T) {
+	ds, _ := smallDirty()
+	if _, err := New(DefaultOptions()).Clean(ds, nil); err == nil {
+		t.Errorf("cleaning without constraints or dependencies should fail")
+	}
+}
+
+func TestMarginalsWellFormed(t *testing.T) {
+	ds, cs := smallDirty()
+	res, err := New(DefaultOptions()).Clean(ds, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Marginals) == 0 {
+		t.Fatal("no marginals")
+	}
+	for c, dist := range res.Marginals {
+		sum := 0.0
+		for i, vp := range dist {
+			sum += vp.P
+			if i > 0 && dist[i-1].P < vp.P {
+				t.Errorf("marginal of %v not sorted by probability", c)
+			}
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Errorf("marginal of %v sums to %v", c, sum)
+		}
+	}
+}
+
+func TestExactInferenceMatchesGibbsDirection(t *testing.T) {
+	ds, cs := smallDirty()
+	gibbsOpts := DefaultOptions()
+	gibbsOpts.GibbsSamples = 500
+	exactOpts := DefaultOptions()
+	exactOpts.ExactInference = true
+	rg, err := New(gibbsOpts).Clean(ds, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := New(exactOpts).Clean(ds, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rg.Repaired.Equal(re.Repaired) {
+		t.Errorf("exact and Gibbs inference disagree on MAP repairs")
+	}
+}
+
+func TestRunStatsPopulated(t *testing.T) {
+	ds, cs := smallDirty()
+	res, err := New(DefaultOptions()).Clean(ds, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	if s.NoisyCells == 0 || s.QueryVars == 0 || s.Factors == 0 || s.Weights == 0 {
+		t.Errorf("stats incomplete: %+v", s)
+	}
+	if s.TotalTime <= 0 || s.CompileTime <= 0 {
+		t.Errorf("timings missing: %+v", s)
+	}
+}
+
+func TestParseConstraintAPI(t *testing.T) {
+	c, err := ParseConstraint("t1&t2&EQ(t1.Zip,t2.Zip)&IQ(t1.City,t2.City)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Predicates) != 2 {
+		t.Errorf("predicates = %d", len(c.Predicates))
+	}
+	if _, err := ParseConstraint("garbage"); err == nil {
+		t.Errorf("garbage should fail to parse")
+	}
+	cs, err := ParseConstraints(strings.NewReader("c1: t1&t2&EQ(t1.A,t2.A)&IQ(t1.B,t2.B)"))
+	if err != nil || len(cs) != 1 {
+		t.Fatalf("ParseConstraints: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("MustParseConstraint should panic on bad input")
+		}
+	}()
+	MustParseConstraint("also garbage")
+}
+
+func TestReadCSVAPI(t *testing.T) {
+	ds, err := ReadCSV(strings.NewReader("A,B\nx,1\ny,2\n"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumTuples() != 2 {
+		t.Errorf("tuples = %d", ds.NumTuples())
+	}
+}
+
+func TestCleanWithDictionary(t *testing.T) {
+	ds := NewDataset([]string{"City", "Zip"})
+	ds.Append([]string{"Cicago", "60608"})
+	ds.Append([]string{"Chicago", "60608"})
+	ds.Append([]string{"Chicago", "60608"})
+	dict := NewDictionary("zips", []string{"Ext_City", "Ext_Zip"})
+	dict.Append([]string{"Chicago", "60608"})
+	opts := DefaultOptions()
+	opts.Dictionaries = []*Dictionary{dict}
+	opts.MatchDependencies = []*MatchDependency{{
+		Name: "m1", Dict: "zips",
+		Conditions: []MatchTerm{{DataAttr: "Zip", DictAttr: "Ext_Zip"}},
+		Conclusion: MatchTerm{DataAttr: "City", DictAttr: "Ext_City"},
+	}}
+	res, err := New(opts).Clean(ds, FD("fd", []string{"Zip"}, []string{"City"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Repaired.GetString(0, 0); got != "Chicago" {
+		t.Errorf("dictionary-backed repair = %q, want Chicago", got)
+	}
+}
+
+func TestCleanDeterministicBySeed(t *testing.T) {
+	build := func() (*Dataset, []*Constraint) { return smallDirty() }
+	ds1, cs1 := build()
+	ds2, cs2 := build()
+	r1, err := New(DefaultOptions()).Clean(ds1, cs1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := New(DefaultOptions()).Clean(ds2, cs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Repaired.Equal(r2.Repaired) {
+		t.Errorf("same seed produced different repairs")
+	}
+	if len(r1.Repairs) != len(r2.Repairs) {
+		t.Errorf("repair lists differ")
+	}
+}
+
+func TestCleanAllVariants(t *testing.T) {
+	for _, v := range []Variant{
+		VariantDCFeats, VariantDCFactors, VariantDCFactorsPartitioned,
+		VariantDCFeatsFactors, VariantDCFeatsFactorsPartitioned,
+	} {
+		ds, cs := smallDirty()
+		opts := DefaultOptions()
+		opts.Variant = v
+		res, err := New(opts).Clean(ds, cs)
+		if err != nil {
+			t.Fatalf("%s: %v", v.Name(), err)
+		}
+		if res.Repaired == nil {
+			t.Fatalf("%s: nil result", v.Name())
+		}
+	}
+}
+
+func TestMarginalOf(t *testing.T) {
+	ds, cs := smallDirty()
+	res, err := New(DefaultOptions()).Clean(ds, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zip := ds.AttrIndex("Zip")
+	if m := res.MarginalOf(Cell{Tuple: 1, Attr: zip}); len(m) == 0 {
+		t.Errorf("noisy cell should have a marginal")
+	}
+	if m := res.MarginalOf(Cell{Tuple: 99, Attr: 0}); m != nil {
+		t.Errorf("unknown cell should have nil marginal")
+	}
+}

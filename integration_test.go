@@ -1,0 +1,61 @@
+package holoclean
+
+import (
+	"testing"
+
+	"holoclean/internal/datagen"
+	"holoclean/internal/metrics"
+)
+
+// TestCleanFigure1 runs the full pipeline on the paper's running example
+// (Figure 1 embedded in background context) with all three signals and
+// checks the repairs of Figure 2: the zips of t1 and t3 become 60608, and
+// the city of t4 becomes Chicago.
+func TestCleanFigure1(t *testing.T) {
+	g := datagen.Figure1WithContext(20, 1)
+	opts := DefaultOptions()
+	opts.Dictionaries = g.Dictionaries
+	opts.MatchDependencies = g.MatchDeps
+	opts.OutlierDetection = true // module 1 of Figure 2 includes outlier detection
+	res, err := New(opts).Clean(g.Dirty, g.Constraints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("stats: %+v", res.Stats)
+	for _, r := range res.Repairs {
+		t.Logf("repair t%d.%s: %q -> %q (p=%.2f)", r.Tuple, r.Attr, r.Old, r.New, r.Probability)
+	}
+	got := func(tuple int, attr string) string {
+		return res.Repaired.GetString(tuple, res.Repaired.AttrIndex(attr))
+	}
+	if v := got(3, "City"); v != "Chicago" {
+		t.Errorf("t4.City = %q, want Chicago", v)
+	}
+	if v := got(0, "Zip"); v != "60608" {
+		t.Errorf("t1.Zip = %q, want 60608", v)
+	}
+	if v := got(2, "Zip"); v != "60608" {
+		t.Errorf("t3.Zip = %q, want 60608", v)
+	}
+	eval := metrics.Evaluate(g.Dirty, res.Repaired, g.Truth)
+	t.Logf("eval: %s", eval)
+}
+
+// TestCleanHospital checks that the default configuration reaches
+// high precision and reasonable recall on the duplication-heavy
+// Hospital workload (Table 3 reports 1.0 / 0.713 on the real data).
+func TestCleanHospital(t *testing.T) {
+	g := datagen.Hospital(datagen.Config{Tuples: 600, Seed: 7})
+	res, err := New(DefaultOptions()).Clean(g.Dirty, g.Constraints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := metrics.Evaluate(g.Dirty, res.Repaired, g.Truth)
+	t.Logf("hospital eval: %s  stats: %+v", eval, res.Stats)
+	if eval.Precision < 0.80 {
+		t.Errorf("precision %.3f too low, want >= 0.80", eval.Precision)
+	}
+	if eval.Recall < 0.50 {
+		t.Errorf("recall %.3f too low, want >= 0.50", eval.Recall)
+	}
+}

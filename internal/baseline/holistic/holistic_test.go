@@ -1,0 +1,116 @@
+package holistic
+
+import (
+	"strings"
+	"testing"
+
+	"holoclean/internal/dataset"
+	"holoclean/internal/dc"
+	"holoclean/internal/violation"
+)
+
+func TestRepairMajorityGroup(t *testing.T) {
+	// One clear minority error in a large duplicate group: the MVC picks
+	// the high-degree cell and the context suggests the majority value.
+	ds := dataset.New([]string{"Name", "Zip"})
+	for i := 0; i < 9; i++ {
+		ds.Append([]string{"a", "60608"})
+	}
+	ds.Append([]string{"a", "99999"})
+	cs := dc.FD("fd", []string{"Name"}, []string{"Zip"})
+	res, err := Repair(ds, cs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Repaired.GetString(9, 1); got != "60608" {
+		t.Errorf("minority zip repaired to %q, want 60608", got)
+	}
+	// Repaired dataset must be violation-free.
+	det, _ := violation.NewDetector(res.Repaired, cs)
+	if v := det.Detect(); len(v) != 0 {
+		t.Errorf("repair left %d violations", len(v))
+	}
+	if res.Iterations < 1 || len(res.RepairedCells) == 0 {
+		t.Errorf("bookkeeping: %+v", res)
+	}
+}
+
+func TestRepairTerminates(t *testing.T) {
+	// A 2-cycle of constraints that can never be satisfied by suggestion
+	// alone must still terminate within MaxIterations.
+	ds := dataset.New([]string{"A", "B"})
+	ds.Append([]string{"x", "1"})
+	ds.Append([]string{"x", "2"})
+	cs := dc.FD("fd", []string{"A"}, []string{"B"})
+	res, err := Repair(ds, cs, Config{MaxIterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 3 {
+		t.Errorf("exceeded MaxIterations")
+	}
+}
+
+func TestFreshValueAssignment(t *testing.T) {
+	// When the cover lands on a cell whose only resolution is "must
+	// differ" (the FD's LHS), Holistic assigns a fresh constant.
+	// Build data where every cell ties so hash order decides; run and
+	// check that any fresh values dissolve violations.
+	ds := dataset.New([]string{"A", "B"})
+	ds.Append([]string{"k", "1"})
+	ds.Append([]string{"k", "2"})
+	cs := dc.FD("fd", []string{"A"}, []string{"B"})
+	res, err := Repair(ds, cs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, _ := violation.NewDetector(res.Repaired, cs)
+	if v := det.Detect(); len(v) != 0 {
+		t.Errorf("violations remain after repair: %d", len(v))
+	}
+	// Either a value was equalized or a fresh constant appeared.
+	fresh := false
+	for tu := 0; tu < 2; tu++ {
+		for a := 0; a < 2; a++ {
+			if strings.HasPrefix(res.Repaired.GetString(tu, a), "~fresh~") {
+				fresh = true
+			}
+		}
+	}
+	equalized := res.Repaired.GetString(0, 1) == res.Repaired.GetString(1, 1)
+	if !fresh && !equalized {
+		t.Errorf("repair neither equalized nor freshened: %v / %v",
+			res.Repaired.GetString(0, 1), res.Repaired.GetString(1, 1))
+	}
+}
+
+func TestNoViolationsNoop(t *testing.T) {
+	ds := dataset.New([]string{"A", "B"})
+	ds.Append([]string{"x", "1"})
+	ds.Append([]string{"y", "2"})
+	cs := dc.FD("fd", []string{"A"}, []string{"B"})
+	res, err := Repair(ds, cs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RepairedCells) != 0 || res.Iterations != 0 {
+		t.Errorf("clean data should need no repairs: %+v", res)
+	}
+	if !res.Repaired.Equal(ds) {
+		t.Errorf("clean data modified")
+	}
+}
+
+func TestInputNotMutated(t *testing.T) {
+	ds := dataset.New([]string{"A", "B"})
+	ds.Append([]string{"k", "1"})
+	ds.Append([]string{"k", "2"})
+	orig := ds.Clone()
+	cs := dc.FD("fd", []string{"A"}, []string{"B"})
+	if _, err := Repair(ds, cs, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Equal(orig) {
+		t.Errorf("Repair mutated its input")
+	}
+}

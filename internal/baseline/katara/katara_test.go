@@ -1,0 +1,128 @@
+package katara
+
+import (
+	"fmt"
+	"testing"
+
+	"holoclean/internal/dataset"
+	"holoclean/internal/extdict"
+)
+
+func setup() (*dataset.Dataset, *extdict.Dictionary) {
+	ds := dataset.New([]string{"Name", "City", "State", "Zip"})
+	ds.Append([]string{"est1", "Chicago", "IL", "60608"})
+	ds.Append([]string{"est2", "Cicago", "IL", "60608"}) // misspelled city
+	ds.Append([]string{"est3", "Chicago", "IL", "60610"})
+	d := extdict.NewDictionary("zips", []string{"Ext_City", "Ext_State", "Ext_Zip"})
+	d.Append([]string{"Chicago", "IL", "60608"})
+	d.Append([]string{"Chicago", "IL", "60610"})
+	d.Append([]string{"Springfield", "IL", "62701"})
+	return ds, d
+}
+
+func TestAlignmentAndRepair(t *testing.T) {
+	ds, d := setup()
+	res, err := Repair(ds, []*extdict.Dictionary{d}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DictName != "zips" {
+		t.Fatalf("dictionary not aligned: %+v", res.Alignment)
+	}
+	if len(res.Alignment) != 3 {
+		t.Fatalf("alignment = %v, want City/State/Zip", res.Alignment)
+	}
+	if _, ok := res.Alignment[0]; ok {
+		t.Errorf("Name column must not align (no overlap)")
+	}
+	if got := res.Repaired.GetString(1, 1); got != "Chicago" {
+		t.Errorf("Cicago repaired to %q, want Chicago", got)
+	}
+	if res.ValidatedRows != 2 {
+		t.Errorf("validated rows = %d, want 2", res.ValidatedRows)
+	}
+	if len(res.RepairedCells) != 1 {
+		t.Errorf("repairs = %v, want 1", res.RepairedCells)
+	}
+}
+
+func TestFormatMismatchBlocksEverything(t *testing.T) {
+	// Physicians scenario: ZIP+4 values never match the dictionary's
+	// 5-digit zips, the zip column fails to align, and with a partially
+	// aligned dictionary KATARA must do nothing.
+	ds := dataset.New([]string{"City", "State", "Zip"})
+	ds.Append([]string{"Chicago", "IL", "60608-1234"})
+	ds.Append([]string{"Cicago", "IL", "60608-1234"})
+	d := extdict.NewDictionary("zips", []string{"Ext_City", "Ext_State", "Ext_Zip"})
+	d.Append([]string{"Chicago", "IL", "60608"})
+	res, err := Repair(ds, []*extdict.Dictionary{d}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DictName != "" || len(res.RepairedCells) != 0 {
+		t.Errorf("format mismatch should block all repairs: %+v", res)
+	}
+}
+
+func TestAmbiguousSuggestionSkipped(t *testing.T) {
+	// Two dictionary rows match all-but-one with different values for the
+	// missing column: KATARA must not guess.
+	ds := dataset.New([]string{"City", "State", "Zip"})
+	ds.Append([]string{"Chicago", "IL", "99999"}) // wrong zip, two candidates
+	d := extdict.NewDictionary("zips", []string{"Ext_City", "Ext_State", "Ext_Zip"})
+	d.Append([]string{"Chicago", "IL", "60608"})
+	d.Append([]string{"Chicago", "IL", "60610"})
+	d.Append([]string{"X", "IL", "99999"})
+	res, err := Repair(ds, []*extdict.Dictionary{d}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.RepairedCells {
+		if c.Attr == 2 {
+			t.Errorf("ambiguous zip should not be repaired, got %q", res.Repaired.GetString(0, 2))
+		}
+	}
+}
+
+func TestNoDictionaries(t *testing.T) {
+	ds, _ := setup()
+	res, err := Repair(ds, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RepairedCells) != 0 {
+		t.Errorf("no dictionaries should mean no repairs")
+	}
+}
+
+func TestHighPrecisionOnScale(t *testing.T) {
+	// Many clean rows + a few typos: all repairs must be correct
+	// (KATARA's signature high precision).
+	ds := dataset.New([]string{"City", "State", "Zip"})
+	d := extdict.NewDictionary("zips", []string{"Ext_City", "Ext_State", "Ext_Zip"})
+	for i := 0; i < 20; i++ {
+		city := fmt.Sprintf("City%02d", i)
+		zip := fmt.Sprintf("6%04d", i)
+		d.Append([]string{city, "IL", zip})
+		for r := 0; r < 5; r++ {
+			ds.Append([]string{city, "IL", zip})
+		}
+	}
+	// Introduce typos in city cells of three rows.
+	ds.SetString(0, 0, "Cxty00")
+	ds.SetString(7, 0, "Cit01")
+	ds.SetString(14, 0, "Ctiy02")
+	res, err := Repair(ds, []*extdict.Dictionary{d}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RepairedCells) != 3 {
+		t.Fatalf("repairs = %d, want 3", len(res.RepairedCells))
+	}
+	for _, c := range res.RepairedCells {
+		want := fmt.Sprintf("City%02d", (c.Tuple/5)%20)
+		if got := res.Repaired.GetString(c.Tuple, c.Attr); got != want {
+			t.Errorf("repair at %v = %q, want %q", c, got, want)
+		}
+	}
+}

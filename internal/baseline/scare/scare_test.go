@@ -1,0 +1,130 @@
+package scare
+
+import (
+	"testing"
+
+	"holoclean/internal/dataset"
+)
+
+// duplicated builds a dataset with strong X→Y dependency: X attrs (Key)
+// determine Y attrs (Val) across many duplicates.
+func duplicated() *dataset.Dataset {
+	ds := dataset.New([]string{"Key", "Val"})
+	for i := 0; i < 20; i++ {
+		ds.Append([]string{"k1", "v1"})
+	}
+	for i := 0; i < 20; i++ {
+		ds.Append([]string{"k2", "v2"})
+	}
+	return ds
+}
+
+func TestRepairObviousError(t *testing.T) {
+	ds := duplicated()
+	ds.SetString(0, 1, "v2") // k1 row with k2's value
+	res, err := Repair(ds, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Repaired.GetString(0, 1); got != "v1" {
+		t.Errorf("repaired to %q, want v1", got)
+	}
+	if len(res.RepairedCells) != 1 {
+		t.Errorf("repairs = %v", res.RepairedCells)
+	}
+}
+
+func TestReliableAttributesNeverRepaired(t *testing.T) {
+	// The X/Y split: attributes before FlexibleFrom are assumed correct.
+	ds := duplicated()
+	ds.SetString(0, 0, "kX") // error in the reliable set
+	res, err := Repair(ds, Config{FlexibleFrom: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.RepairedCells {
+		if c.Attr < 1 {
+			t.Errorf("repaired reliable attribute: %v", c)
+		}
+	}
+	if res.Repaired.GetString(0, 0) != "kX" {
+		t.Errorf("reliable cell must keep its value")
+	}
+}
+
+func TestBoundedChanges(t *testing.T) {
+	// More errors than the budget allows: at most ⌈δ·n⌉ repairs.
+	ds := duplicated()
+	for i := 0; i < 10; i++ {
+		ds.SetString(i, 1, "v2")
+	}
+	res, err := Repair(ds, Config{Delta: 0.05}) // budget = 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RepairedCells) > 2 {
+		t.Errorf("budget exceeded: %d repairs", len(res.RepairedCells))
+	}
+}
+
+func TestMinGainBlocksWeakRepairs(t *testing.T) {
+	// A value with mixed support should not be repaired under a high
+	// MinGain requirement.
+	ds := dataset.New([]string{"Key", "Val"})
+	for i := 0; i < 6; i++ {
+		ds.Append([]string{"k", "a"})
+	}
+	for i := 0; i < 4; i++ {
+		ds.Append([]string{"k", "b"})
+	}
+	res, err := Repair(ds, Config{MinGain: 10, FlexibleFrom: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RepairedCells) != 0 {
+		t.Errorf("weak-gain repairs performed: %v", res.RepairedCells)
+	}
+}
+
+func TestAllFlexible(t *testing.T) {
+	ds := duplicated()
+	ds.SetString(0, 1, "v2")
+	res, err := Repair(ds, Config{FlexibleFrom: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Repaired.GetString(0, 1) != "v1" {
+		t.Errorf("all-flexible mode should still repair")
+	}
+}
+
+func TestSystematicErrorInvisible(t *testing.T) {
+	// A self-consistent group (all rows of k3 share the wrong value)
+	// gives the wrong value full contextual support — SCARE cannot see
+	// it, the behaviour that zeroes it on Physicians.
+	ds := duplicated()
+	for i := 0; i < 20; i++ {
+		ds.Append([]string{"k3", "vBAD"})
+	}
+	res, err := Repair(ds, Config{FlexibleFrom: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.RepairedCells {
+		if ds.GetString(c.Tuple, 0) == "k3" {
+			t.Errorf("systematic group should be invisible to SCARE")
+		}
+	}
+}
+
+func TestInputNotMutated(t *testing.T) {
+	ds := duplicated()
+	ds.SetString(0, 1, "v2")
+	orig := ds.Clone()
+	if _, err := Repair(ds, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Equal(orig) {
+		t.Errorf("Repair mutated its input")
+	}
+}

@@ -1,0 +1,547 @@
+// Package compile implements HoloClean's compilation module (Section 4):
+// given the dirty dataset, repairing constraints Σ, and optional external
+// dictionaries, it materializes the DDlog relations of Section 4.1,
+// translates every repair signal into inference rules (Section 4.2,
+// Algorithm 1, and the Section 5.2 relaxation), and grounds the resulting
+// probabilistic program into a factor graph.
+package compile
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"time"
+
+	"holoclean/internal/dataset"
+	"holoclean/internal/dc"
+	"holoclean/internal/ddlog"
+	"holoclean/internal/errordetect"
+	"holoclean/internal/extdict"
+	"holoclean/internal/fusion"
+	"holoclean/internal/partition"
+	"holoclean/internal/pruning"
+	"holoclean/internal/stats"
+	"holoclean/internal/violation"
+)
+
+// Variant selects how denial constraints enter the model — the axis of
+// Figure 5.
+type Variant struct {
+	// DCFactors grounds Algorithm 1's correlation factors.
+	DCFactors bool
+	// DCFeatures grounds the Section 5.2 relaxation (independent
+	// variables, learnable per-rule weights).
+	DCFeatures bool
+	// Partition restricts DC-factor grounding to Algorithm 3 groups.
+	Partition bool
+}
+
+// The five variants evaluated in Figure 5. DCFeats is the configuration
+// used for the headline results (Section 6.1: "denial constraints in
+// HoloClean are relaxed to features…; no partitioning is used").
+var (
+	DCFactorsOnly         = Variant{DCFactors: true}
+	DCFactorsPartitioned  = Variant{DCFactors: true, Partition: true}
+	DCFeats               = Variant{DCFeatures: true}
+	DCFeatsFactors        = Variant{DCFactors: true, DCFeatures: true}
+	DCFeatsFactorsPartTwo = Variant{DCFactors: true, DCFeatures: true, Partition: true}
+)
+
+// Name renders the variant with the paper's Figure 5 labels.
+func (v Variant) Name() string {
+	switch v {
+	case DCFactorsOnly:
+		return "DC Factors"
+	case DCFactorsPartitioned:
+		return "DC Factors + partitioning"
+	case DCFeats:
+		return "DC Feats"
+	case DCFeatsFactors:
+		return "DC Feats + DC Factors"
+	case DCFeatsFactorsPartTwo:
+		return "DC Feats + DC Factors + partitioning"
+	}
+	return fmt.Sprintf("custom(factors=%v feats=%v part=%v)", v.DCFactors, v.DCFeatures, v.Partition)
+}
+
+// Options configures compilation.
+type Options struct {
+	// Tau is Algorithm 2's pruning threshold; the paper sweeps
+	// {0.3, 0.5, 0.7, 0.9}.
+	Tau float64
+	// MaxCandidates caps per-cell domains (0 = uncapped).
+	MaxCandidates int
+	// FullDomain disables Algorithm 2 (no-pruning ablation).
+	FullDomain bool
+	// Variant selects the DC encoding.
+	Variant Variant
+	// MinimalityWeight is the fixed positive prior on keeping initial
+	// values (Section 4.2, "Minimality Priors").
+	MinimalityWeight float64
+	// DCWeight is the fixed soft-constraint weight w of Algorithm 1.
+	DCWeight float64
+	// MaxEvidence bounds the sampled clean cells used as labeled
+	// examples for weight learning.
+	MaxEvidence int
+	// Seed drives evidence sampling.
+	Seed int64
+	// Detectors to run; defaults to denial-constraint violations, the
+	// configuration of every paper experiment.
+	Detectors []errordetect.Detector
+	// Dictionaries and MatchDeps supply the external-data signal.
+	Dictionaries []*extdict.Dictionary
+	MatchDeps    []*extdict.MatchDependency
+	// CooccurFeatures toggles the quantitative-statistics signal
+	// (HasFeature co-occurrence features). Enabled by default.
+	DisableCooccurFeatures bool
+	// DictionaryPrior is the initial reliability weight of dictionary
+	// match factors (still adjusted by learning). Defaults to 1.
+	DictionaryPrior float64
+	// RelaxedDCPrior is the initial weight of relaxed denial-constraint
+	// features (still adjusted by learning). Defaults to 1.
+	RelaxedDCPrior float64
+	// SourceFeatures adds provenance features when the dataset has them.
+	DisableSourceFeatures bool
+	// MaxScanCounterparts caps index-less DC grounding (see ddlog.Config).
+	MaxScanCounterparts int
+	// Trusted cells are user-confirmed values (Section 2.2's feedback
+	// loop): they are removed from the noisy set regardless of detection
+	// and force-included as evidence, so learning treats them as labels.
+	Trusted []dataset.Cell
+}
+
+// DefaultOptions returns the paper's defaults: τ=0.5, relaxed constraints,
+// minimality prior and soft-constraint weights at moderate strength.
+func DefaultOptions() Options {
+	return Options{
+		Tau:              0.5,
+		Variant:          DCFeats,
+		MinimalityWeight: 0.5,
+		DCWeight:         4.0,
+		MaxEvidence:      2000,
+		DictionaryPrior:  2.0,
+		RelaxedDCPrior:   1.5,
+		Seed:             1,
+	}
+}
+
+// Timings records the phase durations reported in Table 4 and Figure 4.
+type Timings struct {
+	Detect  time.Duration
+	Compile time.Duration // statistics + pruning + matching + grounding
+}
+
+// Compiled is the output of compilation: a grounded probabilistic model
+// plus all intermediate artifacts.
+type Compiled struct {
+	DS        *dataset.Dataset
+	Bounds    []*dc.Bound
+	Detection *errordetect.Result
+	Stats     *stats.Stats
+	Domains   *pruning.Domains
+	Matches   []extdict.Match
+	Groups    []partition.Group
+	Program   *ddlog.Program
+	Grounded  *ddlog.Grounded
+	Timings   Timings
+}
+
+// Compile runs the full compilation pipeline of Figure 2's modules 1–2:
+// error detection, statistics, domain pruning, matching, rule generation,
+// and grounding.
+func Compile(ds *dataset.Dataset, constraints []*dc.Constraint, opts Options) (*Compiled, error) {
+	if opts.MinimalityWeight == 0 {
+		opts.MinimalityWeight = 0.5
+	}
+	if opts.DCWeight == 0 {
+		opts.DCWeight = 4.0
+	}
+	if opts.Tau == 0 && !opts.FullDomain {
+		opts.Tau = 0.5
+	}
+	// Intern constraint constants so bound predicates compare labels.
+	for _, c := range constraints {
+		for _, p := range c.Predicates {
+			if p.Right.IsConst {
+				ds.Dict().Intern(p.Right.Const)
+			}
+		}
+	}
+	bounds, err := dc.BindAll(constraints, ds)
+	if err != nil {
+		return nil, err
+	}
+	out := &Compiled{DS: ds, Bounds: bounds}
+
+	// --- Error detection (Figure 2, module 1) ---
+	t0 := time.Now()
+	detectors := opts.Detectors
+	var violDet *errordetect.Violations
+	if len(detectors) == 0 {
+		violDet = &errordetect.Violations{Constraints: constraints}
+		detectors = []errordetect.Detector{violDet}
+	} else {
+		for _, d := range detectors {
+			if vd, ok := d.(*errordetect.Violations); ok {
+				violDet = vd
+			}
+		}
+	}
+	detection, err := errordetect.Run(ds, detectors...)
+	if err != nil {
+		return nil, err
+	}
+	out.Detection = detection
+	out.Timings.Detect = time.Since(t0)
+
+	// User-confirmed cells are clean by fiat.
+	noisy := detection.Noisy
+	if len(opts.Trusted) > 0 {
+		trusted := make(map[dataset.Cell]bool, len(opts.Trusted))
+		for _, c := range opts.Trusted {
+			trusted[c] = true
+		}
+		kept := make([]dataset.Cell, 0, len(noisy))
+		for _, c := range noisy {
+			if !trusted[c] {
+				kept = append(kept, c)
+			}
+		}
+		noisy = kept
+	}
+
+	// --- Compilation (Figure 2, module 2) ---
+	t1 := time.Now()
+	st := stats.Collect(ds)
+	out.Stats = st
+
+	domains := pruning.Compute(ds, st, noisy, pruning.Config{
+		Tau:           opts.Tau,
+		MaxCandidates: opts.MaxCandidates,
+		FullDomain:    opts.FullDomain,
+	})
+	out.Domains = domains
+
+	// External data: apply matching dependencies and admit suggestions
+	// into the domains of noisy cells (Example 3).
+	if len(opts.MatchDeps) > 0 {
+		matcher, err := extdict.NewMatcher(ds, opts.Dictionaries, opts.MatchDeps)
+		if err != nil {
+			return nil, err
+		}
+		out.Matches = matcher.Apply(ds)
+		for _, m := range out.Matches {
+			domains.Inject(m.Cell, ds.Dict().Intern(m.Value))
+		}
+	}
+
+	// Partitioning (Algorithm 3) needs the conflict hypergraph.
+	if opts.Variant.Partition {
+		h := violationHypergraph(ds, constraints, violDet)
+		if h != nil {
+			out.Groups = partition.Groups(h)
+		}
+	}
+
+	evidence, evidenceDomains := sampleEvidence(ds, st, detection, noisy, opts)
+
+	dictPrior := opts.DictionaryPrior
+	if dictPrior == 0 {
+		dictPrior = 1.0
+	}
+	rdcPrior := opts.RelaxedDCPrior
+	if rdcPrior == 0 {
+		rdcPrior = 1.0
+	}
+	db := &ddlog.Database{
+		DS:              ds,
+		Bounds:          bounds,
+		Domains:         domains,
+		Evidence:        evidence,
+		EvidenceDomains: evidenceDomains,
+		Matches:         out.Matches,
+		Groups:          out.Groups,
+		DictPrior:       dictPrior,
+		RelaxedDCPrior:  rdcPrior,
+	}
+	if !opts.DisableCooccurFeatures || (!opts.DisableSourceFeatures && ds.HasSources()) {
+		db.Features = featureFunc(ds, opts)
+	}
+	var softs []func(dataset.Cell, []int32) []ddlog.SoftFeature
+	if !opts.DisableCooccurFeatures {
+		// Clean-cell statistics: co-occurrences where either cell was
+		// flagged noisy are discounted, so self-consistent systematic
+		// errors cannot vouch for themselves.
+		masked := stats.CollectFiltered(ds, func(t, a int) bool {
+			return detection.IsNoisy(dataset.Cell{Tuple: t, Attr: a})
+		})
+		softs = append(softs, softFeatureFunc(ds, st, masked))
+	}
+	if !opts.DisableSourceFeatures && ds.HasSources() {
+		// Source-reliability fusion [35]: tuples reporting the same entity
+		// attribute vote with accuracy-weighted shares.
+		votes := fusion.Estimate(ds, bounds, 0)
+		softs = append(softs, fusionFeatureFunc(votes))
+	}
+	if len(softs) > 0 {
+		db.SoftFeatures = func(c dataset.Cell, dom []int32) []ddlog.SoftFeature {
+			var out []ddlog.SoftFeature
+			for _, f := range softs {
+				out = append(out, f(c, dom)...)
+			}
+			return out
+		}
+	}
+
+	prog := buildProgram(bounds, opts)
+	out.Program = prog
+
+	grounded, err := ddlog.Ground(db, prog, ddlog.Config{MaxScanCounterparts: opts.MaxScanCounterparts})
+	if err != nil {
+		return nil, err
+	}
+	out.Grounded = grounded
+	out.Timings.Compile = time.Since(t1)
+	return out, nil
+}
+
+// violationHypergraph reuses the detector's hypergraph when available,
+// otherwise runs violation detection once.
+func violationHypergraph(ds *dataset.Dataset, constraints []*dc.Constraint, violDet *errordetect.Violations) *violation.Hypergraph {
+	if violDet != nil && violDet.LastHypergraph != nil {
+		return violDet.LastHypergraph
+	}
+	det, err := violation.NewDetector(ds, constraints)
+	if err != nil {
+		return nil
+	}
+	return violation.BuildHypergraph(det, det.Detect())
+}
+
+// buildProgram emits the inference rules of Section 4.2 for the selected
+// variant.
+func buildProgram(bounds []*dc.Bound, opts Options) *ddlog.Program {
+	prog := &ddlog.Program{}
+	prog.Add(&ddlog.Rule{Kind: ddlog.RandomVariables, Name: "variables"})
+	if !opts.DisableCooccurFeatures || !opts.DisableSourceFeatures {
+		prog.Add(&ddlog.Rule{Kind: ddlog.FeatureFactors, Name: "features"})
+	}
+	if len(opts.MatchDeps) > 0 {
+		prog.Add(&ddlog.Rule{Kind: ddlog.MatchedFactors, Name: "matched"})
+	}
+	prog.Add(&ddlog.Rule{Kind: ddlog.MinimalityFactors, Name: "minimality", FixedWeight: opts.MinimalityWeight})
+	for ci, b := range bounds {
+		name := b.Src.Name
+		if name == "" {
+			name = "sigma" + strconv.Itoa(ci+1)
+		}
+		if opts.Variant.DCFeatures {
+			for _, ref := range ddlog.CellRefs(b) {
+				prog.Add(&ddlog.Rule{
+					Kind:       ddlog.RelaxedDCFactors,
+					Name:       fmt.Sprintf("%s@t%d.a%d", name, ref.TupleVar+1, ref.Attr),
+					Constraint: ci,
+					Head:       ref,
+				})
+			}
+		}
+		if opts.Variant.DCFactors {
+			prog.Add(&ddlog.Rule{
+				Kind:        ddlog.DCFactors,
+				Name:        name,
+				Constraint:  ci,
+				FixedWeight: opts.DCWeight,
+				Partition:   opts.Variant.Partition,
+			})
+		}
+	}
+	return prog
+}
+
+// featureFunc returns the HasFeature materializer: co-occurrence features
+// from sibling cells ("the values of other cells in the same tuple") and
+// provenance features when lineage is available (Section 4.1).
+func featureFunc(ds *dataset.Dataset, opts Options) func(dataset.Cell) []string {
+	return func(c dataset.Cell) []string {
+		var out []string
+		if !opts.DisableCooccurFeatures {
+			for g := 0; g < ds.NumAttrs(); g++ {
+				if g == c.Attr {
+					continue
+				}
+				v := ds.Get(c.Tuple, g)
+				if v == dataset.Null {
+					continue
+				}
+				out = append(out, "c"+strconv.Itoa(g)+"="+strconv.Itoa(int(v)))
+			}
+		}
+		if !opts.DisableSourceFeatures {
+			if src := ds.Source(c.Tuple); src != "" {
+				out = append(out, "s="+src)
+			}
+		}
+		return out
+	}
+}
+
+// softFeatureFunc materializes the real-valued co-occurrence features:
+// for a cell, one factor per non-null sibling attribute g whose h[d] is
+// the conditional probability Pr[d | v_g], with the weight tied per
+// (attribute, sibling attribute) pair. Unlike the per-(d,f) indicator
+// features, this statistic transfers to values that never appear among
+// the evidence cells, and the per-pair weights learn which sibling
+// attributes are predictive (the original system's statistics featurizer
+// works the same way).
+//
+// Two feature families are grounded per (cell, sibling) pair with
+// separate tied weights: one over the raw dirty-data statistics (the
+// paper's quantitative signal) and one over clean-cell statistics that
+// exclude co-occurrences involving cells flagged noisy. The clean family
+// starts at twice the prior: it cannot be fooled by self-consistent
+// systematic errors (a corrupted organization's rows vouching for their
+// own spelling), while the dirty family retains coverage in regions
+// where detection flagged everything. Conditioning values that occur
+// only once are skipped — a unique key "predicting" its own tuple's
+// values is pure self-reference.
+func softFeatureFunc(ds *dataset.Dataset, st, masked *stats.Stats) func(dataset.Cell, []int32) []ddlog.SoftFeature {
+	family := func(c dataset.Cell, dom []int32, src *stats.Stats, g int, vg dataset.Value, key string, init float64) (ddlog.SoftFeature, bool) {
+		if len(src.GivenHistogram(c.Attr, g, vg)) == 0 {
+			return ddlog.SoftFeature{}, false
+		}
+		h := make([]float64, len(dom))
+		any := false
+		for d, label := range dom {
+			h[d] = src.CondProb(c.Attr, dataset.Value(label), g, vg)
+			if h[d] != 0 {
+				any = true
+			}
+		}
+		if !any {
+			return ddlog.SoftFeature{}, false
+		}
+		return ddlog.SoftFeature{
+			Key:  key + strconv.Itoa(c.Attr) + "|" + strconv.Itoa(g),
+			H:    h,
+			Init: init,
+		}, true
+	}
+	return func(c dataset.Cell, dom []int32) []ddlog.SoftFeature {
+		var out []ddlog.SoftFeature
+		// Empirical value-frequency prior (the "empirical distribution
+		// characterizing attributes" of Section 1), over clean-cell
+		// counts and normalized by the best candidate: a value that never
+		// occurs outside flagged cells — a replicated misspelling, a typo
+		// — earns no mass no matter how self-consistent its tuples are.
+		// Quasi-key attributes (dates, identifiers) are exempt: frequency
+		// carries no signal when nearly every value is unique.
+		freqH := make([]float64, len(dom))
+		maxF := 0
+		quasiKey := st.DistinctValues(c.Attr)*4 > ds.NumTuples()
+		for _, label := range dom {
+			if f := masked.Freq(c.Attr, dataset.Value(label)); f > maxF {
+				maxF = f
+			}
+		}
+		if maxF > 0 && !quasiKey {
+			for d, label := range dom {
+				freqH[d] = float64(masked.Freq(c.Attr, dataset.Value(label))) / float64(maxF)
+			}
+			out = append(out, ddlog.SoftFeature{Key: "freq|" + strconv.Itoa(c.Attr), H: freqH, Init: 1.0})
+		}
+		for g := 0; g < ds.NumAttrs(); g++ {
+			if g == c.Attr {
+				continue
+			}
+			vg := ds.Get(c.Tuple, g)
+			if vg == dataset.Null || st.Freq(g, vg) < 2 {
+				continue
+			}
+			if f, ok := family(c, dom, st, g, vg, "cooc|", 0.5); ok {
+				out = append(out, f)
+			}
+			if f, ok := family(c, dom, masked, g, vg, "ccln|", 1.0); ok {
+				out = append(out, f)
+			}
+		}
+		return out
+	}
+}
+
+// fusionFeatureFunc materializes the source-fusion signal: H[d] is the
+// accuracy-weighted vote share of candidate d among the tuples reporting
+// on the same entity attribute, with one learnable weight per attribute.
+func fusionFeatureFunc(votes *fusion.Votes) func(dataset.Cell, []int32) []ddlog.SoftFeature {
+	return func(c dataset.Cell, dom []int32) []ddlog.SoftFeature {
+		h := make([]float64, len(dom))
+		any := false
+		for d, label := range dom {
+			s, ok := votes.Share(c, dataset.Value(label))
+			if !ok {
+				return nil
+			}
+			h[d] = s
+			if s != 0 {
+				any = true
+			}
+		}
+		if !any {
+			return nil
+		}
+		return []ddlog.SoftFeature{{Key: "fusion|" + strconv.Itoa(c.Attr), H: h, Init: 3.0}}
+	}
+}
+
+// sampleEvidence draws up to MaxEvidence clean cells, restricted to
+// attributes that contain at least one noisy cell (other attributes share
+// no tied weights with any query variable), and computes their candidate
+// domains with the same Algorithm 2 configuration. Cells whose pruned
+// domain is a singleton carry no training signal and are skipped.
+func sampleEvidence(ds *dataset.Dataset, st *stats.Stats, det *errordetect.Result, noisy []dataset.Cell, opts Options) ([]dataset.Cell, [][]dataset.Value) {
+	maxEvidence := opts.MaxEvidence
+	if maxEvidence == 0 {
+		maxEvidence = 2000
+	}
+	stillNoisy := make(map[dataset.Cell]bool, len(noisy))
+	noisyAttrs := make(map[int]bool)
+	for _, c := range noisy {
+		stillNoisy[c] = true
+		noisyAttrs[c.Attr] = true
+	}
+	var pool []dataset.Cell
+	for t := 0; t < ds.NumTuples(); t++ {
+		for a := 0; a < ds.NumAttrs(); a++ {
+			c := dataset.Cell{Tuple: t, Attr: a}
+			if !noisyAttrs[a] || stillNoisy[c] || ds.Get(t, a) == dataset.Null {
+				continue
+			}
+			pool = append(pool, c)
+		}
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	if len(pool) > maxEvidence {
+		pool = pool[:maxEvidence]
+	}
+	// User-confirmed cells are always evidence, ahead of the sample.
+	for _, c := range opts.Trusted {
+		if ds.Get(c.Tuple, c.Attr) != dataset.Null {
+			pool = append([]dataset.Cell{c}, pool...)
+		}
+	}
+	evDomains := pruning.Compute(ds, st, pool, pruning.Config{
+		Tau:           opts.Tau,
+		MaxCandidates: opts.MaxCandidates,
+		FullDomain:    opts.FullDomain,
+	})
+	var cells []dataset.Cell
+	var doms [][]dataset.Value
+	for i, c := range evDomains.Cells {
+		if len(evDomains.Candidates[i]) < 2 {
+			continue
+		}
+		cells = append(cells, c)
+		doms = append(doms, evDomains.Candidates[i])
+	}
+	return cells, doms
+}

@@ -1,0 +1,176 @@
+// Package datagen synthesizes the four evaluation datasets of Section 6.1
+// (Hospital, Flights, Food, Physicians) at configurable scale, plus the
+// Figure 1 food-inspection snippet. The real datasets are not
+// redistributable, so each generator reproduces the *error mechanisms*
+// the paper attributes to its dataset — duplication-heavy low-noise data
+// (Hospital), cross-source conflicts with provenance (Flights),
+// non-systematic random errors with duplicates (Food), and systematic
+// replicated errors (Physicians) — together with denial-constraint sets
+// of the same arity (9/4/7/9) and full ground truth. See DESIGN.md
+// ("Substitutions") for why this preserves the evaluation's shape.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"holoclean/internal/dataset"
+	"holoclean/internal/dc"
+	"holoclean/internal/extdict"
+)
+
+// Generated bundles a dirty dataset with its ground truth and repair
+// signals.
+type Generated struct {
+	Name        string
+	Dirty       *dataset.Dataset
+	Truth       *dataset.Dataset
+	Constraints []*dc.Constraint
+	// Dictionaries and MatchDeps carry the external-data signal when the
+	// dataset has one (Hospital, Food, Physicians use the address
+	// listing; Flights has none, matching the paper's "n/a").
+	Dictionaries []*extdict.Dictionary
+	MatchDeps    []*extdict.MatchDependency
+
+	// InjectedErrors counts cells where Dirty differs from Truth.
+	InjectedErrors int
+}
+
+// Config scales a generator. The zero value selects the generator's
+// default size; Seed 0 means seed 1.
+type Config struct {
+	Tuples int
+	Seed   int64
+}
+
+func (c Config) seed() int64 {
+	if c.Seed == 0 {
+		return 1
+	}
+	return c.Seed
+}
+
+// countErrors fills InjectedErrors.
+func (g *Generated) countErrors() {
+	n := 0
+	for t := 0; t < g.Dirty.NumTuples(); t++ {
+		for a := 0; a < g.Dirty.NumAttrs(); a++ {
+			if g.Dirty.GetString(t, a) != g.Truth.GetString(t, a) {
+				n++
+			}
+		}
+	}
+	g.InjectedErrors = n
+}
+
+// typo corrupts a string deterministically under rng: it replaces one
+// character with 'x' (the classic Hospital-benchmark corruption) or
+// drops/doubles a character, producing a near-duplicate of the original —
+// the signature errors of transcription.
+func typo(rng *rand.Rand, s string) string {
+	if len(s) == 0 {
+		return "x"
+	}
+	b := []byte(s)
+	i := rng.Intn(len(b))
+	switch rng.Intn(3) {
+	case 0: // substitute
+		b[i] = 'x'
+		return string(b)
+	case 1: // delete
+		return string(b[:i]) + string(b[i+1:])
+	default: // double
+		return string(b[:i+1]) + string(b[i:])
+	}
+}
+
+// geo is a small synthetic geography: zips determine (city, state), and
+// addresses determine zips — so the FD-shaped constraints of the paper
+// hold on clean data.
+type geo struct {
+	zips   []string
+	city   map[string]string
+	state  map[string]string
+	cities []string
+}
+
+var stateNames = []string{"IL", "CA", "NY", "TX", "WA", "MA", "FL", "OH", "GA", "PA"}
+
+// newGeo builds nCities cities, each with 1–3 zip codes.
+func newGeo(rng *rand.Rand, nCities int) *geo {
+	return newGeoZips(rng, nCities, 1, 3)
+}
+
+// newGeoZips builds nCities cities with between minZips and maxZips zip
+// codes each.
+func newGeoZips(rng *rand.Rand, nCities, minZips, maxZips int) *geo {
+	g := &geo{city: make(map[string]string), state: make(map[string]string)}
+	zipSeq := 60001
+	for i := 0; i < nCities; i++ {
+		city := fmt.Sprintf("Cityville%02d", i)
+		st := stateNames[i%len(stateNames)]
+		g.cities = append(g.cities, city)
+		for z := 0; z < minZips+rng.Intn(maxZips-minZips+1); z++ {
+			zip := fmt.Sprintf("%05d", zipSeq)
+			zipSeq++
+			g.zips = append(g.zips, zip)
+			g.city[zip] = city
+			g.state[zip] = st
+		}
+	}
+	return g
+}
+
+// randomZip picks a zip uniformly.
+func (g *geo) randomZip(rng *rand.Rand) string { return g.zips[rng.Intn(len(g.zips))] }
+
+// addressFor fabricates a street address unique to the given key.
+func addressFor(key int) string {
+	streets := []string{"S Morgan ST", "N Wells ST", "E Erie ST", "W Cermak Rd", "Lake Shore Dr", "State St", "Main St", "Oak Ave"}
+	return fmt.Sprintf("%d %s", 100+key*7%9000, streets[key%len(streets)])
+}
+
+// addressDictionary builds the federal-zip-codes style listing used by
+// KATARA and Section 6.3.2: one row per (address, city, state, zip).
+// Coverage controls the fraction of addresses included, modeling the
+// limited coverage the paper reports.
+func addressDictionary(name string, rows [][4]string, coverage float64, rng *rand.Rand) *extdict.Dictionary {
+	d := extdict.NewDictionary(name, []string{"Ext_Address", "Ext_City", "Ext_State", "Ext_Zip"})
+	seen := make(map[[4]string]bool)
+	for _, r := range rows {
+		if seen[r] {
+			continue
+		}
+		seen[r] = true
+		if rng.Float64() <= coverage {
+			d.Append([]string{r[0], r[1], r[2], r[3]})
+		}
+	}
+	return d
+}
+
+// addressMatchDeps returns m1–m3 of Figure 1(C) bound to the given
+// dataset attribute names.
+func addressMatchDeps(dictName, addr, city, state, zip string) []*extdict.MatchDependency {
+	return []*extdict.MatchDependency{
+		{
+			Name: "m1", Dict: dictName,
+			Conditions: []extdict.Term{{DataAttr: zip, DictAttr: "Ext_Zip"}},
+			Conclusion: extdict.Term{DataAttr: city, DictAttr: "Ext_City"},
+		},
+		{
+			Name: "m2", Dict: dictName,
+			Conditions: []extdict.Term{{DataAttr: zip, DictAttr: "Ext_Zip"}},
+			Conclusion: extdict.Term{DataAttr: state, DictAttr: "Ext_State"},
+		},
+		{
+			Name: "m3", Dict: dictName,
+			Conditions: []extdict.Term{
+				{DataAttr: city, DictAttr: "Ext_City", Approx: true},
+				{DataAttr: state, DictAttr: "Ext_State"},
+				{DataAttr: addr, DictAttr: "Ext_Address"},
+			},
+			Conclusion: extdict.Term{DataAttr: zip, DictAttr: "Ext_Zip"},
+		},
+	}
+}

@@ -1,0 +1,171 @@
+package datagen
+
+import (
+	"testing"
+
+	"holoclean/internal/violation"
+)
+
+func TestFigure1Exact(t *testing.T) {
+	g := Figure1()
+	if g.Dirty.NumTuples() != 4 || g.Dirty.NumAttrs() != 6 {
+		t.Fatalf("figure1 dims wrong")
+	}
+	if g.InjectedErrors != 4 {
+		// t1.Zip, t3.Zip, t4.City, t4.DBAName
+		t.Errorf("errors = %d, want 4", g.InjectedErrors)
+	}
+	if len(g.Constraints) != 4 {
+		// c1 (1) + c2 (2: City and State) + c3 (1)
+		t.Errorf("constraints = %d, want 4", len(g.Constraints))
+	}
+	if len(g.MatchDeps) != 3 || len(g.Dictionaries) != 1 {
+		t.Errorf("external signals missing")
+	}
+	// Truth must be violation-free.
+	det, err := violation.NewDetector(g.Truth, g.Constraints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := det.Detect(); len(v) != 0 {
+		t.Errorf("figure1 truth violates its own constraints: %d", len(v))
+	}
+}
+
+func TestFigure1WithContext(t *testing.T) {
+	g := Figure1WithContext(10, 1)
+	if g.Dirty.NumTuples() != 4+30 {
+		t.Errorf("context tuples = %d", g.Dirty.NumTuples())
+	}
+	if g.InjectedErrors != 4 {
+		t.Errorf("context must not add errors, got %d", g.InjectedErrors)
+	}
+	// Context addresses must be covered by the dictionary.
+	if len(g.Dictionaries[0].Rows) <= 4 {
+		t.Errorf("context rows should extend the dictionary")
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	gens := []func(Config) *Generated{Hospital, Flights, Food, Physicians}
+	for _, gen := range gens {
+		a := gen(Config{Tuples: 300, Seed: 5})
+		b := gen(Config{Tuples: 300, Seed: 5})
+		if !a.Dirty.Equal(b.Dirty) || !a.Truth.Equal(b.Truth) {
+			t.Errorf("%s: same seed produced different data", a.Name)
+		}
+		c := gen(Config{Tuples: 300, Seed: 6})
+		if a.Dirty.Equal(c.Dirty) {
+			t.Errorf("%s: different seeds produced identical data", a.Name)
+		}
+	}
+}
+
+func TestGeneratorProfiles(t *testing.T) {
+	cases := []struct {
+		gen        func(Config) *Generated
+		tuples     int
+		attrs, ics int
+	}{
+		{Hospital, 500, 19, 9},
+		{Flights, 500, 6, 4},
+		{Food, 500, 17, 7},
+		{Physicians, 500, 18, 9},
+	}
+	for _, c := range cases {
+		g := c.gen(Config{Tuples: c.tuples, Seed: 1})
+		if g.Dirty.NumTuples() != c.tuples {
+			t.Errorf("%s tuples = %d, want %d", g.Name, g.Dirty.NumTuples(), c.tuples)
+		}
+		if g.Dirty.NumAttrs() != c.attrs {
+			t.Errorf("%s attrs = %d, want %d", g.Name, g.Dirty.NumAttrs(), c.attrs)
+		}
+		if len(g.Constraints) < c.ics {
+			t.Errorf("%s constraints = %d, want >= %d", g.Name, len(g.Constraints), c.ics)
+		}
+		if g.InjectedErrors == 0 {
+			t.Errorf("%s has no errors", g.Name)
+		}
+		if g.Dirty.NumTuples() != g.Truth.NumTuples() {
+			t.Errorf("%s truth size mismatch", g.Name)
+		}
+	}
+}
+
+func TestHospitalErrorRate(t *testing.T) {
+	g := Hospital(Config{Tuples: 1000, Seed: 1})
+	rate := float64(g.InjectedErrors) / float64(g.Dirty.NumTuples())
+	// ~5% of tuples get one typo (collisions make it slightly lower).
+	if rate < 0.02 || rate > 0.08 {
+		t.Errorf("hospital error rate per tuple = %v, want ≈ 0.05", rate)
+	}
+}
+
+func TestFlightsProfile(t *testing.T) {
+	g := Flights(Config{Tuples: 1000, Seed: 1})
+	if !g.Dirty.HasSources() {
+		t.Fatal("flights must carry provenance")
+	}
+	// The majority of cells participate in violations (Table 2 shape).
+	det, _ := violation.NewDetector(g.Dirty, g.Constraints)
+	h := violation.BuildHypergraph(det, det.Detect())
+	noisyFrac := float64(len(h.Cells())) / float64(g.Dirty.NumCells())
+	if noisyFrac < 0.4 {
+		t.Errorf("flights noisy fraction = %v, want the majority of cells", noisyFrac)
+	}
+	if g.Dictionaries != nil {
+		t.Errorf("flights has no external dictionary (KATARA n/a)")
+	}
+}
+
+func TestFoodDriftViolatesTruth(t *testing.T) {
+	g := Food(Config{Tuples: 1500, Seed: 1})
+	det, _ := violation.NewDetector(g.Truth, g.Constraints)
+	if v := det.Detect(); len(v) == 0 {
+		t.Errorf("food truth should contain drift-induced violations")
+	}
+}
+
+func TestPhysiciansSystematicErrors(t *testing.T) {
+	g := Physicians(Config{Tuples: 2000, Seed: 1})
+	city := g.Dirty.AttrIndex("City")
+	state := g.Dirty.AttrIndex("State")
+	// Errors must replicate: every corrupted value appears in multiple
+	// tuples (organization-wide corruption).
+	counts := map[string]int{}
+	for tu := 0; tu < g.Dirty.NumTuples(); tu++ {
+		for _, a := range []int{city, state} {
+			if g.Dirty.GetString(tu, a) != g.Truth.GetString(tu, a) {
+				counts[g.Dirty.GetString(tu, a)]++
+			}
+		}
+	}
+	if len(counts) == 0 {
+		t.Fatal("no systematic errors injected")
+	}
+	for v, c := range counts {
+		if c < 3 {
+			t.Errorf("systematic error %q appears only %d times", v, c)
+		}
+	}
+	// Zip format: ZIP+4.
+	zip := g.Dirty.AttrIndex("Zip")
+	if s := g.Dirty.GetString(0, zip); len(s) != 10 || s[5] != '-' {
+		t.Errorf("zip format = %q, want NNNNN-NNNN", s)
+	}
+}
+
+func TestTruthMostlyConsistent(t *testing.T) {
+	// Hospital and Physicians truths satisfy their constraints exactly
+	// (Food legitimately drifts).
+	for _, gen := range []func(Config) *Generated{Hospital, Physicians} {
+		g := gen(Config{Tuples: 500, Seed: 2})
+		det, err := violation.NewDetector(g.Truth, g.Constraints)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := det.Detect(); len(v) != 0 {
+			t.Errorf("%s truth has %d violations", g.Name, len(v))
+		}
+	}
+}

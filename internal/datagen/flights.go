@@ -1,0 +1,107 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"holoclean/internal/dataset"
+	"holoclean/internal/dc"
+)
+
+// flightsAttrs mirrors the 6-attribute schema of the Flights dataset [30]:
+// web sources report the departure/arrival times of flights, and sources
+// disagree.
+var flightsAttrs = []string{
+	"Source", "Flight", "ScheduledDep", "ActualDep", "ScheduledArr", "ActualArr",
+}
+
+// Flights generates the cross-source conflict workload of Section 6.1:
+// each flight is reported by ~20 sources of varying reliability, wrong
+// reports are drawn from a small pool of confusable alternatives (so
+// errors correlate across unreliable sources), and the majority of cells
+// participate in violations of the four per-attribute uniqueness
+// constraints. Tuple provenance records the reporting source, enabling
+// HoloClean's source-reliability features.
+func Flights(cfg Config) *Generated {
+	n := cfg.Tuples
+	if n == 0 {
+		n = 2377
+	}
+	rng := rand.New(rand.NewSource(cfg.seed()))
+
+	numFlights := n / 20
+	if numFlights < 4 {
+		numFlights = 4
+	}
+	numSources := 24
+	reliability := make([]float64, numSources)
+	for s := range reliability {
+		reliability[s] = 0.40 + 0.55*float64(s)/float64(numSources-1)
+	}
+
+	clock := func() string { return fmt.Sprintf("%02d:%02d", rng.Intn(24), rng.Intn(60)) }
+	type flight struct {
+		id    string
+		times [4]string // true sched-dep, actual-dep, sched-arr, actual-arr
+		wrong [4][]string
+		// consensusWrong marks attributes where an upstream feed was
+		// wrong and most sources copied it — the paper's observation that
+		// web sources copy each other, which bounds the recall any
+		// fusion-based method can reach on this dataset.
+		consensusWrong [4]bool
+	}
+	flights := make([]flight, numFlights)
+	for i := range flights {
+		f := flight{id: fmt.Sprintf("AA-%04d-2011-12-%02d", i, 1+i%28)}
+		for k := 0; k < 4; k++ {
+			f.times[k] = clock()
+			alts := 1 + rng.Intn(2)
+			for a := 0; a < alts; a++ {
+				f.wrong[k] = append(f.wrong[k], clock())
+			}
+			f.consensusWrong[k] = rng.Float64() < 0.18
+		}
+		flights[i] = f
+	}
+
+	truth := dataset.New(flightsAttrs)
+	dirty := dataset.New(flightsAttrs)
+	for t := 0; t < n; t++ {
+		// Skewed popularity: a few flights collect most reports, the tail
+		// is covered by a handful of sources.
+		fi := rng.Intn(numFlights)
+		if alt := rng.Intn(numFlights); alt < fi {
+			fi = alt
+		}
+		fl := flights[fi]
+		s := rng.Intn(numSources)
+		src := fmt.Sprintf("src%02d", s)
+		truthRow := []string{src, fl.id, fl.times[0], fl.times[1], fl.times[2], fl.times[3]}
+		truth.Append(truthRow)
+		dirtyRow := append([]string(nil), truthRow...)
+		for k := 0; k < 4; k++ {
+			switch {
+			case fl.consensusWrong[k]:
+				// Copied upstream error: 3 of 4 sources propagate it.
+				if rng.Float64() < 0.75 {
+					dirtyRow[2+k] = fl.wrong[k][0]
+				}
+			case rng.Float64() > reliability[s]:
+				dirtyRow[2+k] = fl.wrong[k][rng.Intn(len(fl.wrong[k]))]
+			}
+		}
+		ti := dirty.Append(dirtyRow)
+		dirty.SetSource(ti, src)
+		truth.SetSource(ti, src)
+	}
+
+	var cs []*dc.Constraint
+	cs = append(cs, dc.FD("f1", []string{"Flight"}, []string{"ScheduledDep"})...)
+	cs = append(cs, dc.FD("f2", []string{"Flight"}, []string{"ActualDep"})...)
+	cs = append(cs, dc.FD("f3", []string{"Flight"}, []string{"ScheduledArr"})...)
+	cs = append(cs, dc.FD("f4", []string{"Flight"}, []string{"ActualArr"})...)
+
+	g := &Generated{Name: "flights", Dirty: dirty, Truth: truth, Constraints: cs}
+	g.countErrors()
+	return g
+}

@@ -1,0 +1,162 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"holoclean/internal/dataset"
+	"holoclean/internal/dc"
+	"holoclean/internal/extdict"
+)
+
+// foodAttrs mirrors the 17-attribute Chicago food-inspection schema of
+// Example 1 and Section 6.1.
+var foodAttrs = []string{
+	"DBAName", "AKAName", "License", "FacilityType", "Risk",
+	"Address", "City", "State", "Zip",
+	"InspectionDate", "InspectionType", "Results",
+	"Latitude", "Longitude", "Ward", "Precinct", "Inspector",
+}
+
+// Food generates the non-systematic-error workload of Section 6.1:
+// establishments are inspected repeatedly across years (duplicates), and
+// random tuples receive typos or wrong zip codes in unrelated positions —
+// "the majority of errors are introduced in non-systematic ways". Seven
+// denial constraints capture the conflict families the paper lists
+// (conflicting zips, facility types, and same-day inspection results for
+// one establishment).
+func Food(cfg Config) *Generated {
+	n := cfg.Tuples
+	if n == 0 {
+		n = 3000
+	}
+	rng := rand.New(rand.NewSource(cfg.seed()))
+	geo := newGeo(rng, 15)
+
+	// Low duplication is what makes Food hard for minimality-driven
+	// repair: most establishments have only 2–4 inspection rows, so a
+	// conflicting pair often has no majority to vote with.
+	numEst := n / 3
+	if numEst < 4 {
+		numEst = 4
+	}
+	facilities := []string{"Restaurant", "Grocery Store", "Bakery", "School", "Daycare"}
+	risks := []string{"Risk 1 (High)", "Risk 2 (Medium)", "Risk 3 (Low)"}
+	inspTypes := []string{"Canvass", "Complaint", "License", "Re-inspection"}
+	results := []string{"Pass", "Fail", "Pass w/ Conditions"}
+	inspectors := []string{"insp-a", "insp-b", "insp-c", "insp-d", "insp-e", "insp-f"}
+
+	type establishment struct {
+		dba, aka, license, facility, risk, addr, city, state, zip, lat, lon, ward, precinct string
+	}
+	ests := make([]establishment, numEst)
+	var dictRows [][4]string
+	for i := range ests {
+		zip := geo.randomZip(rng)
+		addr := addressFor(i + 77)
+		ests[i] = establishment{
+			dba:      fmt.Sprintf("establishment %03d inc", i),
+			aka:      fmt.Sprintf("place %03d", i),
+			license:  fmt.Sprintf("L%06d", 100000+i),
+			facility: facilities[i%len(facilities)],
+			risk:     risks[i%len(risks)],
+			addr:     addr,
+			city:     geo.city[zip],
+			state:    geo.state[zip],
+			zip:      zip,
+			lat:      fmt.Sprintf("41.%s", zip),
+			lon:      fmt.Sprintf("-87.%s", zip),
+			ward:     fmt.Sprintf("ward-%s", zip[3:]),
+			precinct: fmt.Sprintf("pct-%s", zip[2:]),
+		}
+		dictRows = append(dictRows, [4]string{addr, geo.city[zip], geo.state[zip], zip})
+	}
+
+	// Natural drift: some establishments legitimately change facility
+	// type or trade name across years. Those rows violate the License
+	// FDs without being errors — the pattern that ruins purely
+	// minimality-driven repair on the real Food data (its "violations"
+	// column counts many cells no repair should touch).
+	driftFacility := make(map[int]string)
+	driftDBA := make(map[int]string)
+	for i := 0; i < numEst; i++ {
+		if rng.Float64() < 0.05 {
+			driftFacility[i] = facilities[(i+1+rng.Intn(len(facilities)-1))%len(facilities)]
+		}
+		if rng.Float64() < 0.02 {
+			driftDBA[i] = fmt.Sprintf("establishment %03d llc", i)
+		}
+	}
+
+	truth := dataset.New(foodAttrs)
+	lastDate := make([]string, numEst)
+	lastResult := make([]string, numEst)
+	for t := 0; t < n; t++ {
+		ei := t % numEst
+		visit := t / numEst
+		e := ests[ei]
+		if visit >= 2 {
+			if f, ok := driftFacility[ei]; ok {
+				e.facility = f
+			}
+			if d, ok := driftDBA[ei]; ok {
+				e.dba = d
+			}
+		}
+		// Dates are deterministic per (establishment, visit); every third
+		// visit is a same-day re-inspection that must agree with the
+		// previous result, so constraint g7 has real duplicates to check.
+		date := fmt.Sprintf("201%d-%02d-%02d", 2+visit%6, 1+(ei+visit)%12, 1+(ei*3+visit*5)%28)
+		result := results[rng.Intn(len(results))]
+		if visit > 0 && visit%3 == 2 {
+			date = lastDate[ei]
+			result = lastResult[ei]
+		}
+		lastDate[ei], lastResult[ei] = date, result
+		truth.Append([]string{
+			e.dba, e.aka, e.license, e.facility, e.risk,
+			e.addr, e.city, e.state, e.zip,
+			date, inspTypes[rng.Intn(len(inspTypes))], result,
+			e.lat, e.lon, e.ward, e.precinct, inspectors[rng.Intn(len(inspectors))],
+		})
+	}
+
+	dirty := truth.Clone()
+	// Non-systematic errors: ~8% of tuples get 1–2 corrupted cells among
+	// the constraint-covered attributes; zips are swapped for other valid
+	// zips (transcription mix-ups), everything else gets typos.
+	zipAttr := 8
+	errAttrs := []int{0, 3, 6, 7, 8, 11}
+	errTuples := n * 8 / 100
+	for i := 0; i < errTuples; i++ {
+		t := rng.Intn(n)
+		for k := 0; k < 1+rng.Intn(2); k++ {
+			a := errAttrs[rng.Intn(len(errAttrs))]
+			if a == zipAttr {
+				dirty.SetString(t, a, geo.randomZip(rng))
+			} else {
+				dirty.SetString(t, a, typo(rng, dirty.GetString(t, a)))
+			}
+		}
+	}
+
+	var cs []*dc.Constraint
+	cs = append(cs, dc.FD("g1", []string{"License"}, []string{"DBAName"})...)
+	cs = append(cs, dc.FD("g2", []string{"License"}, []string{"Zip"})...)
+	cs = append(cs, dc.FD("g3", []string{"License"}, []string{"FacilityType"})...)
+	cs = append(cs, dc.FD("g4", []string{"Zip"}, []string{"City"})...)
+	cs = append(cs, dc.FD("g5", []string{"Zip"}, []string{"State"})...)
+	cs = append(cs, dc.FD("g6", []string{"City", "State", "Address"}, []string{"Zip"})...)
+	cs = append(cs, dc.FD("g7", []string{"License", "InspectionDate"}, []string{"Results"})...)
+
+	g := &Generated{
+		Name:         "food",
+		Dirty:        dirty,
+		Truth:        truth,
+		Constraints:  cs,
+		Dictionaries: []*extdict.Dictionary{addressDictionary("us-zips", dictRows, 1.0, rng)},
+		MatchDeps:    addressMatchDeps("us-zips", "Address", "City", "State", "Zip"),
+	}
+	g.countErrors()
+	return g
+}

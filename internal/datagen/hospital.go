@@ -1,0 +1,122 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"holoclean/internal/dataset"
+	"holoclean/internal/dc"
+	"holoclean/internal/extdict"
+)
+
+// hospitalAttrs mirrors the 19-attribute schema of the Hospital benchmark.
+var hospitalAttrs = []string{
+	"ProviderNumber", "HospitalName", "Address1", "Address2", "Address3",
+	"City", "State", "ZipCode", "CountyName", "PhoneNumber",
+	"HospitalType", "HospitalOwner", "EmergencyService",
+	"Condition", "MeasureCode", "MeasureName", "Score", "Sample", "StateAvg",
+}
+
+// Hospital generates the duplication-heavy, low-error-rate benchmark of
+// Section 6.1: each hospital's profile repeats across ~20 measure rows,
+// errors are random single-character typos on about 5% of tuples, and the
+// nine denial constraints are the FD set of the standard benchmark.
+func Hospital(cfg Config) *Generated {
+	n := cfg.Tuples
+	if n == 0 {
+		n = 1000
+	}
+	rng := rand.New(rand.NewSource(cfg.seed()))
+	geo := newGeo(rng, 12)
+
+	numHospitals := n / 20
+	if numHospitals < 5 {
+		numHospitals = 5
+	}
+	type hospital struct {
+		provider, name, addr, city, state, zip, county, phone, htype, owner, emergency string
+	}
+	owners := []string{"Government - State", "Voluntary non-profit", "Proprietary", "Government - Federal"}
+	htypes := []string{"Acute Care Hospitals", "Critical Access Hospitals"}
+	hospitals := make([]hospital, numHospitals)
+	var dictRows [][4]string
+	for i := range hospitals {
+		zip := geo.randomZip(rng)
+		addr := addressFor(i + 31)
+		hospitals[i] = hospital{
+			provider:  fmt.Sprintf("1%04d", i),
+			name:      fmt.Sprintf("general hospital %02d", i),
+			addr:      addr,
+			city:      geo.city[zip],
+			state:     geo.state[zip],
+			zip:       zip,
+			county:    "county of " + geo.city[zip],
+			phone:     fmt.Sprintf("555%07d", i*7919%9999999),
+			htype:     htypes[i%len(htypes)],
+			owner:     owners[i%len(owners)],
+			emergency: []string{"Yes", "No"}[i%2],
+		}
+		dictRows = append(dictRows, [4]string{addr, geo.city[zip], geo.state[zip], zip})
+	}
+
+	numMeasures := 25
+	type measure struct{ code, name, condition string }
+	conditions := []string{"Heart Attack", "Heart Failure", "Pneumonia", "Surgical Infection Prevention"}
+	measures := make([]measure, numMeasures)
+	for i := range measures {
+		measures[i] = measure{
+			code:      fmt.Sprintf("MC-%02d", i),
+			name:      fmt.Sprintf("measure name %02d", i),
+			condition: conditions[i%len(conditions)],
+		}
+	}
+
+	truth := dataset.New(hospitalAttrs)
+	for t := 0; t < n; t++ {
+		h := hospitals[t%numHospitals]
+		m := measures[rng.Intn(numMeasures)]
+		truth.Append([]string{
+			h.provider, h.name, h.addr, "", "",
+			h.city, h.state, h.zip, h.county, h.phone,
+			h.htype, h.owner, h.emergency,
+			m.condition, m.code, m.name,
+			fmt.Sprintf("%d%%", 50+rng.Intn(50)), fmt.Sprintf("%d patients", 10+rng.Intn(400)),
+			h.state + "_" + m.code,
+		})
+	}
+
+	dirty := truth.Clone()
+	// ~5% of tuples get one typo in an FD-covered attribute.
+	errAttrs := []int{0, 1, 5, 6, 7, 8, 9, 13, 14, 15}
+	errTuples := n / 20
+	for i := 0; i < errTuples; i++ {
+		t := rng.Intn(n)
+		a := errAttrs[rng.Intn(len(errAttrs))]
+		dirty.SetString(t, a, typo(rng, dirty.GetString(t, a)))
+	}
+
+	var cs []*dc.Constraint
+	add := func(name string, lhs []string, rhs string) {
+		cs = append(cs, dc.FD(name, lhs, []string{rhs})...)
+	}
+	add("h1", []string{"ProviderNumber"}, "HospitalName")
+	add("h2", []string{"ProviderNumber"}, "ZipCode")
+	add("h3", []string{"ProviderNumber"}, "PhoneNumber")
+	add("h4", []string{"ZipCode"}, "City")
+	add("h5", []string{"ZipCode"}, "State")
+	add("h6", []string{"City"}, "CountyName")
+	add("h7", []string{"MeasureCode"}, "MeasureName")
+	add("h8", []string{"MeasureCode"}, "Condition")
+	add("h9", []string{"HospitalName"}, "Address1")
+
+	g := &Generated{
+		Name:         "hospital",
+		Dirty:        dirty,
+		Truth:        truth,
+		Constraints:  cs,
+		Dictionaries: []*extdict.Dictionary{addressDictionary("us-zips", dictRows, 1.0, rng)},
+		MatchDeps:    addressMatchDeps("us-zips", "Address1", "City", "State", "ZipCode"),
+	}
+	g.countErrors()
+	return g
+}

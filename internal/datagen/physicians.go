@@ -1,0 +1,190 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"holoclean/internal/dataset"
+	"holoclean/internal/dc"
+	"holoclean/internal/extdict"
+)
+
+// physiciansAttrs mirrors the 18-attribute Physician Compare schema of
+// Section 6.1.
+var physiciansAttrs = []string{
+	"NPI", "PACID", "LastName", "FirstName", "MiddleName", "Gender",
+	"Credential", "MedicalSchool", "GraduationYear",
+	"PrimarySpecialty", "SecondarySpecialty",
+	"OrganizationName", "GroupPracticeID",
+	"StreetAddress", "City", "State", "Zip", "HospitalAffiliation",
+}
+
+// Physicians generates the systematic-error workload of Section 6.1:
+// medical professionals grouped into practice organizations whose
+// location fields replicate across all members. Errors are systematic —
+// a misspelled city ("Scaramento") or a wrong state is applied
+// identically to every row of an affected organization, echoing the
+// paper's 321 identical "Scaramento, CA" entries. Because organizations
+// share zip codes, clean organizations provide the counterpart evidence
+// that makes systematic errors repairable. Zip codes use the nine-digit
+// ZIP+4 format, which defeats exact five-digit dictionary matching — the
+// format mismatch that zeroes KATARA on this dataset in Table 3.
+func Physicians(cfg Config) *Generated {
+	n := cfg.Tuples
+	if n == 0 {
+		n = 5000
+	}
+	rng := rand.New(rand.NewSource(cfg.seed()))
+	// Ten cities (so City↔State is 1:1 and the statewide statistics can
+	// vouch for the correct spelling) but many zips per city, keeping
+	// organizations-per-zip low enough that a corrupted large practice
+	// can dominate its zip.
+	geo := newGeoZips(rng, 10, 3, 5)
+
+	numOrgs := n / 40
+	if numOrgs < 6 {
+		numOrgs = 6
+	}
+	type org struct {
+		name, group, addr, city, state, zip string
+	}
+	orgs := make([]org, numOrgs)
+	dict := extdict.NewDictionary("us-zips", []string{"Ext_City", "Ext_State", "Ext_Zip"})
+	dictSeen := make(map[string]bool)
+	for i := range orgs {
+		zip5 := geo.randomZip(rng)
+		// The +4 suffix is a function of the five-digit zip, so
+		// organizations in the same zip share the full ZIP+4 and the
+		// Zip→City/State constraints link them.
+		zip9 := fmt.Sprintf("%s-%04d", zip5, 1000+(int(zip5[3]-'0')*10+int(zip5[4]-'0'))*7)
+		addr := addressFor(i + 13)
+		orgs[i] = org{
+			name:  fmt.Sprintf("medical group %03d llc", i),
+			group: fmt.Sprintf("G%05d", 20000+i),
+			addr:  addr,
+			city:  geo.city[zip5],
+			state: geo.state[zip5],
+			zip:   zip9,
+		}
+		// The dictionary keeps five-digit zips (the format mismatch) and,
+		// like the paper's federal zip listing, has no street addresses.
+		if !dictSeen[zip5] {
+			dictSeen[zip5] = true
+			dict.Append([]string{geo.city[zip5], geo.state[zip5], zip5})
+		}
+	}
+
+	schools := []string{"state medical college", "central university som", "riverside medical school", "other"}
+	specialties := []string{"INTERNAL MEDICINE", "FAMILY PRACTICE", "CARDIOLOGY", "DERMATOLOGY", "RADIOLOGY", "GENERAL SURGERY"}
+	credentials := []string{"MD", "DO", "NP", "PA"}
+
+	truth := dataset.New(physiciansAttrs)
+	// Organization sizes are skewed: every fifth organization is a large
+	// practice with ~3× the membership, so a corrupted large organization
+	// can dominate its zip code — the regime where minimality-driven
+	// repair flips the clean minority instead.
+	orgOf := make([]int, n)
+	{
+		weights := make([]int, numOrgs)
+		totalW := 0
+		for i := range weights {
+			weights[i] = 1
+			if i%5 == 0 {
+				weights[i] = 3
+			}
+			totalW += weights[i]
+		}
+		t := 0
+		for t < n {
+			for i := 0; i < numOrgs && t < n; i++ {
+				for k := 0; k < weights[i] && t < n; k++ {
+					orgOf[t] = i
+					t++
+				}
+			}
+		}
+	}
+	for t := 0; t < n; t++ {
+		o := orgs[orgOf[t]]
+		truth.Append([]string{
+			fmt.Sprintf("NPI%08d", 10000000+t),
+			fmt.Sprintf("PAC%07d", 1000000+t),
+			fmt.Sprintf("last%04d", t%2500),
+			fmt.Sprintf("first%03d", t%500),
+			fmt.Sprintf("m%d", t%10),
+			[]string{"M", "F"}[t%2],
+			credentials[rng.Intn(len(credentials))],
+			schools[rng.Intn(len(schools))],
+			fmt.Sprintf("%d", 1970+rng.Intn(45)),
+			specialties[rng.Intn(len(specialties))],
+			specialties[rng.Intn(len(specialties))],
+			o.name, o.group, o.addr, o.city, o.state, o.zip,
+			fmt.Sprintf("hospital %02d", t%30),
+		})
+	}
+
+	dirty := truth.Clone()
+	// Systematic errors: ~12% of organizations get ONE corruption applied
+	// to every member row — a misspelled city or an inconsistent state.
+	cityAttr, stateAttr := 14, 15
+	type corruption struct {
+		attr int
+		bad  string
+	}
+	corrupted := rng.Perm(numOrgs)[:numOrgs*12/100+1]
+	orgError := make(map[int]corruption)
+	for _, oi := range corrupted {
+		o := orgs[oi]
+		c := corruption{attr: cityAttr, bad: typo(rng, o.city)}
+		if rng.Intn(3) == 0 {
+			c.attr = stateAttr
+			c.bad = stateNames[rng.Intn(len(stateNames))]
+			if c.bad == o.state {
+				c.bad = stateNames[(rng.Intn(len(stateNames))+1)%len(stateNames)]
+			}
+		}
+		orgError[oi] = c
+	}
+	for t := 0; t < n; t++ {
+		if c, ok := orgError[orgOf[t]]; ok {
+			dirty.SetString(t, c.attr, c.bad)
+		}
+	}
+
+	var cs []*dc.Constraint
+	cs = append(cs, dc.FD("p1", []string{"NPI"}, []string{"LastName"})...)
+	cs = append(cs, dc.FD("p2", []string{"NPI"}, []string{"FirstName"})...)
+	cs = append(cs, dc.FD("p3", []string{"NPI"}, []string{"Credential"})...)
+	cs = append(cs, dc.FD("p4", []string{"Zip"}, []string{"City"})...)
+	cs = append(cs, dc.FD("p5", []string{"Zip"}, []string{"State"})...)
+	cs = append(cs, dc.FD("p6", []string{"GroupPracticeID"}, []string{"OrganizationName"})...)
+	cs = append(cs, dc.FD("p7", []string{"GroupPracticeID"}, []string{"StreetAddress"})...)
+	cs = append(cs, dc.FD("p8", []string{"OrganizationName"}, []string{"GroupPracticeID"})...)
+	cs = append(cs, dc.FD("p9", []string{"City", "State", "StreetAddress"}, []string{"Zip"})...)
+
+	g := &Generated{
+		Name:         "physicians",
+		Dirty:        dirty,
+		Truth:        truth,
+		Constraints:  cs,
+		Dictionaries: []*extdict.Dictionary{dict},
+		// Only the zip-conditioned dependencies are expressible against a
+		// zip listing without addresses; the ZIP+4 format keeps them from
+		// ever matching, which is the paper's Section 6.3.2 story for this
+		// dataset.
+		MatchDeps: []*extdict.MatchDependency{
+			{
+				Name: "m1", Dict: "us-zips",
+				Conditions: []extdict.Term{{DataAttr: "Zip", DictAttr: "Ext_Zip"}},
+				Conclusion: extdict.Term{DataAttr: "City", DictAttr: "Ext_City"},
+			},
+			{
+				Name: "m2", Dict: "us-zips",
+				Conditions: []extdict.Term{{DataAttr: "Zip", DictAttr: "Ext_Zip"}},
+				Conclusion: extdict.Term{DataAttr: "State", DictAttr: "Ext_State"},
+			},
+		},
+	}
+	g.countErrors()
+	return g
+}

@@ -1,0 +1,108 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReadCSV loads a dataset from CSV. The first record is the header (the
+// schema). If sourceColumn is non-empty, that column is stripped from the
+// schema and stored as per-tuple provenance instead.
+func ReadCSV(r io.Reader, sourceColumn string) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	srcIdx := -1
+	attrs := make([]string, 0, len(header))
+	for i, h := range header {
+		if sourceColumn != "" && h == sourceColumn {
+			srcIdx = i
+			continue
+		}
+		attrs = append(attrs, h)
+	}
+	if sourceColumn != "" && srcIdx < 0 {
+		return nil, fmt.Errorf("dataset: source column %q not in header", sourceColumn)
+	}
+	ds := New(attrs)
+	row := make([]string, len(attrs))
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line, err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("dataset: CSV line %d has %d fields, want %d", line, len(rec), len(header))
+		}
+		j := 0
+		src := ""
+		for i, f := range rec {
+			if i == srcIdx {
+				src = f
+				continue
+			}
+			row[j] = f
+			j++
+		}
+		t := ds.Append(row)
+		if srcIdx >= 0 {
+			ds.SetSource(t, src)
+		}
+	}
+	return ds, nil
+}
+
+// ReadCSVFile is ReadCSV over a file path.
+func ReadCSVFile(path, sourceColumn string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f, sourceColumn)
+}
+
+// WriteCSV writes the dataset, header first. Provenance, if present, is
+// emitted as a trailing "__source" column.
+func (ds *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string(nil), ds.attrs...)
+	if ds.HasSources() {
+		header = append(header, "__source")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for t := 0; t < ds.NumTuples(); t++ {
+		for a := range ds.attrs {
+			rec[a] = ds.GetString(t, a)
+		}
+		if ds.HasSources() {
+			rec[len(rec)-1] = ds.Source(t)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile is WriteCSV to a file path.
+func (ds *Dataset) WriteCSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return ds.WriteCSV(f)
+}

@@ -1,0 +1,220 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sample() *Dataset {
+	ds := New([]string{"A", "B", "C"})
+	ds.Append([]string{"a1", "b1", "c1"})
+	ds.Append([]string{"a2", "b1", ""})
+	ds.Append([]string{"a1", "b2", "c2"})
+	return ds
+}
+
+func TestDictInterning(t *testing.T) {
+	d := NewDict()
+	if v, ok := d.Lookup(""); !ok || v != Null {
+		t.Fatalf("empty string should be pre-interned as Null, got %v/%v", v, ok)
+	}
+	a := d.Intern("x")
+	b := d.Intern("x")
+	if a != b {
+		t.Errorf("re-interning returned different values: %v vs %v", a, b)
+	}
+	c := d.Intern("y")
+	if c == a {
+		t.Errorf("distinct strings interned to the same value")
+	}
+	if d.String(a) != "x" || d.String(c) != "y" {
+		t.Errorf("round trip failed: %q %q", d.String(a), d.String(c))
+	}
+	if d.Size() != 3 { // "", "x", "y"
+		t.Errorf("Size = %d, want 3", d.Size())
+	}
+}
+
+func TestDictRoundTripProperty(t *testing.T) {
+	d := NewDict()
+	f := func(s string) bool { return d.String(d.Intern(s)) == s }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDatasetBasics(t *testing.T) {
+	ds := sample()
+	if ds.NumTuples() != 3 || ds.NumAttrs() != 3 || ds.NumCells() != 9 {
+		t.Fatalf("dims = %d×%d", ds.NumTuples(), ds.NumAttrs())
+	}
+	if ds.GetString(0, 0) != "a1" || ds.GetString(2, 2) != "c2" {
+		t.Errorf("GetString wrong")
+	}
+	if ds.Get(1, 2) != Null {
+		t.Errorf("empty cell should be Null")
+	}
+	if ds.AttrIndex("B") != 1 || ds.AttrIndex("missing") != -1 {
+		t.Errorf("AttrIndex wrong")
+	}
+	if ds.AttrName(2) != "C" {
+		t.Errorf("AttrName wrong")
+	}
+}
+
+func TestActiveDomain(t *testing.T) {
+	ds := sample()
+	domA := ds.ActiveDomain(0)
+	if len(domA) != 2 {
+		t.Fatalf("ActiveDomain(A) size = %d, want 2", len(domA))
+	}
+	// Null must be excluded.
+	for _, v := range ds.ActiveDomain(2) {
+		if v == Null {
+			t.Errorf("ActiveDomain contains Null")
+		}
+	}
+	if len(ds.ActiveDomain(2)) != 2 {
+		t.Errorf("ActiveDomain(C) should have 2 non-null values")
+	}
+	// Sorted ascending.
+	for i := 1; i < len(domA); i++ {
+		if domA[i-1] >= domA[i] {
+			t.Errorf("ActiveDomain not sorted")
+		}
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	ds := sample()
+	cp := ds.Clone()
+	cp.SetString(0, 0, "changed")
+	if ds.GetString(0, 0) != "a1" {
+		t.Errorf("mutating clone affected original")
+	}
+	if !ds.Equal(sample()) {
+		t.Errorf("original should equal a fresh sample")
+	}
+	if ds.Equal(cp) {
+		t.Errorf("original should differ from mutated clone")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	ds := sample()
+	cp := ds.Clone()
+	if d := ds.Diff(cp); len(d) != 0 {
+		t.Fatalf("identical datasets differ: %v", d)
+	}
+	cp.SetString(1, 1, "bX")
+	cp.SetString(2, 0, "aX")
+	d := ds.Diff(cp)
+	if len(d) != 2 {
+		t.Fatalf("Diff = %v, want 2 cells", d)
+	}
+	if d[0] != (Cell{Tuple: 1, Attr: 1}) || d[1] != (Cell{Tuple: 2, Attr: 0}) {
+		t.Errorf("Diff cells wrong: %v", d)
+	}
+}
+
+func TestSources(t *testing.T) {
+	ds := sample()
+	if ds.HasSources() {
+		t.Fatal("fresh dataset should have no sources")
+	}
+	ds.SetSource(1, "web")
+	if !ds.HasSources() || ds.Source(1) != "web" || ds.Source(0) != "" {
+		t.Errorf("source bookkeeping wrong")
+	}
+	t4 := ds.Append([]string{"a", "b", "c"})
+	if ds.Source(t4) != "" {
+		t.Errorf("appended tuple should have empty source")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := sample()
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Equal(back) {
+		t.Errorf("CSV round trip lost data")
+	}
+}
+
+func TestCSVWithSourceColumn(t *testing.T) {
+	in := "A,B,src\n1,2,web\n3,4,feed\n"
+	ds, err := ReadCSV(strings.NewReader(in), "src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumAttrs() != 2 {
+		t.Fatalf("source column should be stripped, got %d attrs", ds.NumAttrs())
+	}
+	if ds.Source(0) != "web" || ds.Source(1) != "feed" {
+		t.Errorf("sources = %q, %q", ds.Source(0), ds.Source(1))
+	}
+	// Round trip: WriteCSV emits __source which ReadCSV can strip again.
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "__source")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Equal(back) || back.Source(1) != "feed" {
+		t.Errorf("source round trip failed")
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), ""); err == nil {
+		t.Errorf("empty input should fail (no header)")
+	}
+	if _, err := ReadCSV(strings.NewReader("A,B\n1,2\n"), "missing"); err == nil {
+		t.Errorf("missing source column should fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("A,B\n1\n"), ""); err == nil {
+		t.Errorf("ragged row should fail")
+	}
+}
+
+func TestAppendPanics(t *testing.T) {
+	ds := sample()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Append with wrong arity should panic")
+		}
+	}()
+	ds.Append([]string{"only-one"})
+}
+
+func TestDuplicateAttrPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("duplicate attribute names should panic")
+		}
+	}()
+	New([]string{"A", "A"})
+}
+
+func TestEqualAcrossDicts(t *testing.T) {
+	a := sample()
+	b := New([]string{"A", "B", "C"})
+	// Intern in a different order so Value ids differ.
+	b.Dict().Intern("zzz")
+	b.Append([]string{"a1", "b1", "c1"})
+	b.Append([]string{"a2", "b1", ""})
+	b.Append([]string{"a1", "b2", "c2"})
+	if !a.Equal(b) {
+		t.Errorf("datasets with different dictionaries but equal strings should be Equal")
+	}
+}

@@ -1,0 +1,421 @@
+package ddlog
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"holoclean/internal/dataset"
+	"holoclean/internal/dc"
+	"holoclean/internal/extdict"
+	"holoclean/internal/factor"
+	"holoclean/internal/partition"
+	"holoclean/internal/pruning"
+)
+
+// Database holds the materialized relations of Section 4.1 that rule
+// grounding joins over.
+type Database struct {
+	// DS is the dirty dataset: the Tuple and InitValue relations.
+	DS *dataset.Dataset
+	// Bounds are the bound denial constraints referenced by DC rules.
+	Bounds []*dc.Bound
+	// Domains is the Domain relation for noisy cells (query variables),
+	// produced by Algorithm 2.
+	Domains *pruning.Domains
+	// Evidence lists the sampled clean cells that become evidence
+	// variables for learning; EvidenceDomains are their candidate sets
+	// (each must contain the observed value).
+	Evidence        []dataset.Cell
+	EvidenceDomains [][]dataset.Value
+	// Features materializes HasFeature(t,a,f) lazily: the feature
+	// identifiers of one cell. May be nil when no feature rule exists.
+	Features func(c dataset.Cell) []string
+	// SoftFeatures materializes real-valued features: per cell and
+	// candidate-label vector, zero or more (weight key, h vector) pairs.
+	// HoloClean uses one per cell carrying co-occurrence probabilities
+	// with the weight tied per attribute. May be nil.
+	SoftFeatures func(c dataset.Cell, dom []int32) []SoftFeature
+	// DictPrior is the initial (learnable) reliability weight w(k) of
+	// dictionary match factors.
+	DictPrior float64
+	// RelaxedDCPrior is the initial (learnable) weight of relaxed
+	// denial-constraint features (Section 5.2) — the prior belief that
+	// constraint violations indicate errors.
+	RelaxedDCPrior float64
+	// Matches is the Matched(t,a,d,k) relation.
+	Matches []extdict.Match
+	// Groups are the Algorithm 3 tuple groups; nil disables partitioning
+	// even for rules that request it.
+	Groups []partition.Group
+}
+
+// Config tunes grounding.
+type Config struct {
+	// MaxScanCounterparts caps the counterpart tuples considered per cell
+	// when a DC rule has no equality predicate to index on (0 =
+	// unlimited). The cap is an approximation documented in DESIGN.md.
+	MaxScanCounterparts int
+}
+
+// Stats describes the grounded model. PaperFactors counts groundings the
+// way Example 5 does — one factor per value combination of the involved
+// random variables — while the compact in-memory representation stores
+// one predicate factor per tuple pair and aggregates identical unary
+// factors with multiplicities.
+type Stats struct {
+	Variables    int
+	QueryVars    int
+	EvidenceVars int
+	UnaryFactors int
+	NaryFactors  int
+	PaperFactors int64
+	PairsChecked int64
+}
+
+// SoftFeature is one real-valued feature of a cell: h values per
+// candidate with a tied weight key. Init is the weight's starting value;
+// learning adjusts it when evidence exists, but on workloads where error
+// detection flags entire conflict groups (e.g. Flights) evidence is
+// scarce and the prior carries the signal.
+type SoftFeature struct {
+	Key  string
+	H    []float64
+	Init float64
+}
+
+// Grounded is the result of grounding a program: the factor graph plus
+// the cell↔variable correspondence.
+type Grounded struct {
+	Graph *factor.Graph
+	// Cells maps variable id → cell.
+	Cells []dataset.Cell
+	// VarOf maps cell → variable id.
+	VarOf map[dataset.Cell]int32
+	Stats Stats
+}
+
+// Domain returns the candidate labels of variable v as dataset values.
+func (g *Grounded) Domain(v int32) []dataset.Value {
+	labels := g.Graph.Vars[v].Domain
+	out := make([]dataset.Value, len(labels))
+	for i, l := range labels {
+		out[i] = dataset.Value(l)
+	}
+	return out
+}
+
+type grounder struct {
+	db      *Database
+	cfg     Config
+	g       *factor.Graph
+	out     *Grounded
+	sym     map[int]bool                    // constraint → symmetric under tuple swap
+	grp     map[int]map[int]int             // constraint → tuple → group id
+	initIdx map[int]map[dataset.Value][]int // attribute → initial value → tuples
+}
+
+// Ground evaluates every rule of the program against the database and
+// returns the factor graph.
+func Ground(db *Database, prog *Program, cfg Config) (*Grounded, error) {
+	gr := &grounder{
+		db:  db,
+		cfg: cfg,
+		g:   factor.NewGraph(),
+		sym: make(map[int]bool),
+		grp: make(map[int]map[int]int),
+	}
+	gr.out = &Grounded{Graph: gr.g, VarOf: make(map[dataset.Cell]int32)}
+	dict := db.DS.Dict()
+	gr.g.Cmp = func(op uint8, a, b int32) bool {
+		return dc.Compare(dc.Op(op), dict.String(dataset.Value(a)), dict.String(dataset.Value(b)))
+	}
+
+	// The random-variable rule must ground first; factor rules reference
+	// the variables it creates.
+	hasRV := false
+	for _, r := range prog.Rules {
+		if r.Kind == RandomVariables {
+			gr.groundVariables()
+			hasRV = true
+			break
+		}
+	}
+	if !hasRV && len(prog.Rules) > 0 {
+		return nil, fmt.Errorf("ddlog: program has factor rules but no random-variable rule")
+	}
+	for _, r := range prog.Rules {
+		switch r.Kind {
+		case RandomVariables:
+			// already grounded
+		case FeatureFactors:
+			gr.groundFeatures()
+		case MatchedFactors:
+			gr.groundMatches()
+		case MinimalityFactors:
+			gr.groundMinimality(r.FixedWeight)
+		case DCFactors:
+			if err := gr.groundDC(r); err != nil {
+				return nil, err
+			}
+		case RelaxedDCFactors:
+			if err := gr.groundRelaxedDC(r); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("ddlog: unknown rule kind %d", r.Kind)
+		}
+	}
+	gr.out.Stats.Variables = len(gr.g.Vars)
+	gr.out.Stats.UnaryFactors = len(gr.g.Unaries)
+	gr.out.Stats.NaryFactors = len(gr.g.Naries)
+	return gr.out, nil
+}
+
+// groundVariables creates one query variable per noisy cell and one
+// evidence variable per sampled clean cell.
+func (gr *grounder) groundVariables() {
+	db := gr.db
+	for i, c := range db.Domains.Cells {
+		cands := db.Domains.Candidates[i]
+		if len(cands) == 0 {
+			continue // nothing to infer; cell keeps its value
+		}
+		labels := make([]int32, len(cands))
+		obs := int32(-1)
+		init := db.DS.Get(c.Tuple, c.Attr)
+		for j, v := range cands {
+			labels[j] = int32(v)
+			if v == init && init != dataset.Null {
+				obs = int32(j)
+			}
+		}
+		v := gr.g.AddVariable(labels, false, obs)
+		gr.out.VarOf[c] = v
+		gr.out.Cells = append(gr.out.Cells, c)
+		gr.out.Stats.QueryVars++
+	}
+	for i, c := range db.Evidence {
+		if _, dup := gr.out.VarOf[c]; dup {
+			continue // a cell cannot be both noisy and evidence
+		}
+		cands := db.EvidenceDomains[i]
+		obsVal := db.DS.Get(c.Tuple, c.Attr)
+		labels := make([]int32, len(cands))
+		obs := int32(-1)
+		for j, v := range cands {
+			labels[j] = int32(v)
+			if v == obsVal {
+				obs = int32(j)
+			}
+		}
+		if obs < 0 {
+			continue // observed value pruned away; unusable as evidence
+		}
+		v := gr.g.AddVariable(labels, true, obs)
+		gr.out.VarOf[c] = v
+		gr.out.Cells = append(gr.out.Cells, c)
+		gr.out.Stats.EvidenceVars++
+	}
+}
+
+// groundFeatures emits Value?(t,a,d) :- HasFeature(t,a,f) with weights
+// tied by (attribute, candidate value, feature), plus the real-valued
+// soft features (co-occurrence probabilities) with attribute-tied weights.
+func (gr *grounder) groundFeatures() {
+	if gr.db.Features == nil && gr.db.SoftFeatures == nil {
+		return
+	}
+	var key []byte
+	for vi, c := range gr.out.Cells {
+		v := int32(vi)
+		dom := gr.g.Vars[v].Domain
+		if gr.db.Features != nil {
+			for _, f := range gr.db.Features(c) {
+				for d, label := range dom {
+					key = key[:0]
+					key = append(key, "ft|"...)
+					key = strconv.AppendInt(key, int64(c.Attr), 10)
+					key = append(key, '|')
+					key = strconv.AppendInt(key, int64(label), 10)
+					key = append(key, '|')
+					key = append(key, f...)
+					wid := gr.g.Weights.ID(string(key), 0, false)
+					gr.g.AddUnary(v, int32(d), wid, false, 1)
+					gr.out.Stats.PaperFactors++
+				}
+			}
+		}
+		if gr.db.SoftFeatures != nil {
+			for _, sf := range gr.db.SoftFeatures(c, dom) {
+				wid := gr.g.Weights.ID(sf.Key, sf.Init, false)
+				gr.g.AddSoft(v, wid, sf.H)
+				gr.out.Stats.PaperFactors++
+			}
+		}
+	}
+}
+
+// groundMatches emits Value?(t,a,d) :- Matched(t,a,d,k) with one
+// reliability weight per dictionary. Matches conditioned on a cell that
+// is itself a repairable query variable get a separate, weaker weight:
+// the lookup key may be the error (a swapped zip retrieves the wrong
+// city), so such suggestions must not carry the full dictionary prior.
+func (gr *grounder) groundMatches() {
+	for _, m := range gr.db.Matches {
+		v, ok := gr.out.VarOf[m.Cell]
+		if !ok {
+			continue
+		}
+		label, ok := gr.db.DS.Dict().Lookup(m.Value)
+		if !ok {
+			continue
+		}
+		key := "dict|" + m.Dict
+		prior := gr.db.DictPrior
+		for _, cc := range m.CondCells {
+			if jv := gr.queryVarOf(cc); jv >= 0 && len(gr.g.Vars[jv].Domain) >= 2 {
+				key += "|weak"
+				prior /= 2
+				break
+			}
+		}
+		dom := gr.g.Vars[v].Domain
+		for d, l := range dom {
+			if l == int32(label) {
+				wid := gr.g.Weights.ID(key, prior, false)
+				gr.g.AddUnary(v, int32(d), wid, false, 1)
+				gr.out.Stats.PaperFactors++
+				break
+			}
+		}
+	}
+}
+
+// groundMinimality emits the positive prior on keeping the initial value
+// for every query variable whose initial value survived pruning.
+func (gr *grounder) groundMinimality(weight float64) {
+	wid := gr.g.Weights.ID("prior|minimality", weight, true)
+	for vi := range gr.out.Cells {
+		v := int32(vi)
+		vr := &gr.g.Vars[v]
+		if vr.Evidence || vr.Obs < 0 {
+			continue
+		}
+		gr.g.AddUnary(v, vr.Obs, wid, false, 1)
+		gr.out.Stats.PaperFactors++
+	}
+}
+
+// queryVarOf returns the query variable of a cell, or -1 when the cell is
+// clean or evidence (treated as a constant during DC grounding).
+func (gr *grounder) queryVarOf(c dataset.Cell) int32 {
+	if v, ok := gr.out.VarOf[c]; ok && !gr.g.Vars[v].Evidence {
+		return v
+	}
+	return -1
+}
+
+// candidateLabels returns the labels cell c can take: its query-variable
+// domain, or the singleton initial value.
+func (gr *grounder) candidateLabels(c dataset.Cell) []int32 {
+	if v := gr.queryVarOf(c); v >= 0 {
+		return gr.g.Vars[v].Domain
+	}
+	init := gr.db.DS.Get(c.Tuple, c.Attr)
+	if init == dataset.Null {
+		return nil
+	}
+	return []int32{int32(init)}
+}
+
+// groupsFor lazily builds the constraint's tuple → group index.
+func (gr *grounder) groupsFor(ci int) map[int]int {
+	if m, ok := gr.grp[ci]; ok {
+		return m
+	}
+	m := make(map[int]int)
+	for gi, g := range gr.db.Groups {
+		if g.Constraint != ci {
+			continue
+		}
+		for _, t := range g.Tuples {
+			m[t] = gi
+		}
+	}
+	gr.grp[ci] = m
+	return m
+}
+
+// sameGroup reports whether t1 and t2 share an Algorithm 3 group for
+// constraint ci.
+func (gr *grounder) sameGroup(ci, t1, t2 int) bool {
+	m := gr.groupsFor(ci)
+	g1, ok1 := m[t1]
+	g2, ok2 := m[t2]
+	return ok1 && ok2 && g1 == g2
+}
+
+// isSymmetric reports whether swapping t1 and t2 yields the same
+// constraint, in which case unordered pair enumeration suffices.
+func (gr *grounder) isSymmetric(ci int) bool {
+	if s, ok := gr.sym[ci]; ok {
+		return s
+	}
+	b := gr.db.Bounds[ci]
+	orig := canonicalPreds(b, false)
+	swap := canonicalPreds(b, true)
+	sort.Strings(orig)
+	sort.Strings(swap)
+	s := len(orig) == len(swap)
+	if s {
+		for i := range orig {
+			if orig[i] != swap[i] {
+				s = false
+				break
+			}
+		}
+	}
+	gr.sym[ci] = s
+	return s
+}
+
+// canonicalPreds renders each predicate in a normal form, optionally with
+// tuple variables exchanged.
+func canonicalPreds(b *dc.Bound, swapped bool) []string {
+	tv := func(t int) int {
+		if swapped && b.TupleVars == 2 {
+			return 1 - t
+		}
+		return t
+	}
+	out := make([]string, 0, len(b.Preds))
+	for _, p := range b.Preds {
+		if p.RightIsConst {
+			out = append(out, fmt.Sprintf("c|%d|%d|%d|%s", tv(p.LeftTuple), p.LeftAttr, p.Op, p.ConstStr))
+			continue
+		}
+		lt, la := tv(p.LeftTuple), p.LeftAttr
+		rt, ra := tv(p.RightTuple), p.RightAttr
+		op := p.Op
+		// Symmetric operators: order the two sides canonically.
+		// Asymmetric ones: flip to put the lexicographically smaller side
+		// left, inverting the operator.
+		if lt > rt || (lt == rt && la > ra) {
+			switch op {
+			case dc.Eq, dc.Neq, dc.Sim:
+				lt, la, rt, ra = rt, ra, lt, la
+			case dc.Lt:
+				lt, la, rt, ra, op = rt, ra, lt, la, dc.Gt
+			case dc.Gt:
+				lt, la, rt, ra, op = rt, ra, lt, la, dc.Lt
+			case dc.Leq:
+				lt, la, rt, ra, op = rt, ra, lt, la, dc.Geq
+			case dc.Geq:
+				lt, la, rt, ra, op = rt, ra, lt, la, dc.Leq
+			}
+		}
+		out = append(out, fmt.Sprintf("p|%d|%d|%d|%d|%d", lt, la, op, rt, ra))
+	}
+	return out
+}

@@ -1,0 +1,263 @@
+package ddlog
+
+import (
+	"holoclean/internal/dataset"
+	"holoclean/internal/dc"
+	"holoclean/internal/factor"
+)
+
+// naryBuild accumulates one folded denial-constraint factor: predicates
+// over query-variable slots, with clean and evidence cells folded to
+// constants and trivially-satisfied predicates removed.
+type naryBuild struct {
+	vars   []int32
+	slotOf map[int32]int32
+	preds  []factor.Pred
+	states int64 // product of slot domain sizes (paper-style grounding count)
+}
+
+func (nb *naryBuild) slot(v int32, g *factor.Graph) int32 {
+	if s, ok := nb.slotOf[v]; ok {
+		return s
+	}
+	s := int32(len(nb.vars))
+	nb.vars = append(nb.vars, v)
+	nb.slotOf[v] = s
+	// Saturate instead of overflowing: unpruned domains make the
+	// paper-style grounding count astronomically large (Example 5).
+	const maxStates = int64(1) << 50
+	if nb.states < maxStates {
+		nb.states *= int64(len(g.Vars[v].Domain))
+	}
+	return s
+}
+
+var flipOp = map[dc.Op]dc.Op{dc.Eq: dc.Eq, dc.Neq: dc.Neq, dc.Sim: dc.Sim, dc.Lt: dc.Gt, dc.Gt: dc.Lt, dc.Leq: dc.Geq, dc.Geq: dc.Leq}
+
+// foldFactor builds the compact factor for constraint b over the tuple
+// pair (t1, t2). It returns nil when the factor is constant (no query
+// variable remains, a predicate is unsatisfiable, or the conjunction is
+// already refuted by initial values) and therefore must not be grounded.
+func (gr *grounder) foldFactor(b *dc.Bound, t1, t2 int) *naryBuild {
+	nb := &naryBuild{slotOf: make(map[int32]int32, 4), states: 1}
+	ds := gr.db.DS
+	tupOf := func(tv int) int {
+		if tv == 1 {
+			return t2
+		}
+		return t1
+	}
+	for i := range b.Preds {
+		p := &b.Preds[i]
+		leftCell := dataset.Cell{Tuple: tupOf(p.LeftTuple), Attr: p.LeftAttr}
+		leftVar := gr.queryVarOf(leftCell)
+		rightVar := int32(-1)
+		var rightCell dataset.Cell
+		if !p.RightIsConst {
+			rightCell = dataset.Cell{Tuple: tupOf(p.RightTuple), Attr: p.RightAttr}
+			rightVar = gr.queryVarOf(rightCell)
+		}
+		if leftVar < 0 && rightVar < 0 {
+			// Fully constant predicate: decided by initial values now.
+			if !b.HoldsPred(i, t1, t2) {
+				return nil // conjunction can never hold
+			}
+			continue // predicate always holds; drop it from the factor
+		}
+		op := p.Op
+		// Normalize so the variable side is on the left.
+		lv, rv := leftVar, rightVar
+		lc, rc := leftCell, rightCell
+		rightIsConst := p.RightIsConst
+		constLabel := int32(p.ConstVal)
+		if lv < 0 {
+			lv, rv = rv, lv
+			lc, rc = rc, lc
+			op = flipOp[op]
+			rightIsConst = false
+		}
+		pred := factor.Pred{LeftSlot: nb.slot(lv, gr.g), Op: uint8(op)}
+		switch {
+		case rv >= 0:
+			pred.RightSlot = nb.slot(rv, gr.g)
+		case rightIsConst:
+			pred.RightSlot = -1
+			pred.RightConst = constLabel
+		default:
+			// Right side is a clean or evidence cell: fold its initial value.
+			init := ds.Get(rc.Tuple, rc.Attr)
+			if init == dataset.Null {
+				return nil // predicates over nulls never hold
+			}
+			pred.RightSlot = -1
+			pred.RightConst = int32(init)
+		}
+		// Cheap unsatisfiability checks against the variable's domain.
+		if pred.RightSlot < 0 {
+			dom := gr.g.Vars[lv].Domain
+			switch dc.Op(pred.Op) {
+			case dc.Eq:
+				if !containsLabel(dom, pred.RightConst) {
+					return nil
+				}
+			case dc.Neq:
+				if len(dom) == 1 && dom[0] == pred.RightConst {
+					return nil
+				}
+			}
+		}
+		nb.preds = append(nb.preds, pred)
+	}
+	if len(nb.preds) == 0 || len(nb.vars) == 0 {
+		return nil // constant factor: uniform energy shift only
+	}
+	return nb
+}
+
+func containsLabel(dom []int32, l int32) bool {
+	for _, d := range dom {
+		if d == l {
+			return true
+		}
+	}
+	return false
+}
+
+// tuplesWithQueryRef returns the tuples that own at least one query
+// variable among the constraint's attribute references for the given
+// tuple role (or either role when role == -1).
+func (gr *grounder) tuplesWithQueryRef(b *dc.Bound, role int) []int {
+	attrs := make(map[int]bool)
+	for _, r := range CellRefs(b) {
+		if role == -1 || r.TupleVar == role {
+			attrs[r.Attr] = true
+		}
+	}
+	seen := make(map[int]bool)
+	var out []int
+	for vi, c := range gr.out.Cells {
+		if gr.g.Vars[vi].Evidence || !attrs[c.Attr] || seen[c.Tuple] {
+			continue
+		}
+		seen[c.Tuple] = true
+		out = append(out, c.Tuple)
+	}
+	return out
+}
+
+// groundDC grounds Algorithm 1's correlation factors for one constraint.
+func (gr *grounder) groundDC(rule *Rule) error {
+	ci := rule.Constraint
+	b := gr.db.Bounds[ci]
+	wid := gr.g.Weights.ID("dc|"+rule.Name, rule.FixedWeight, true)
+
+	emit := func(t1, t2 int) {
+		gr.out.Stats.PairsChecked++
+		if rule.Partition && gr.db.Groups != nil && !gr.sameGroup(ci, t1, t2) {
+			return
+		}
+		nb := gr.foldFactor(b, t1, t2)
+		if nb == nil {
+			return
+		}
+		gr.g.AddNary(nb.vars, nb.preds, wid)
+		gr.out.Stats.PaperFactors += nb.states
+	}
+
+	if b.TupleVars == 1 {
+		for _, t := range gr.tuplesWithQueryRef(b, 0) {
+			emit(t, -1)
+		}
+		return nil
+	}
+
+	symmetric := gr.isSymmetric(ci)
+	seen := make(map[[2]int]bool)
+	emitPair := func(t1, t2 int) {
+		if t1 == t2 {
+			return
+		}
+		key := [2]int{t1, t2}
+		if symmetric && t1 > t2 {
+			key = [2]int{t2, t1}
+		}
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		emit(key[0], key[1])
+	}
+
+	joins := b.EqualityJoinAttrs()
+	if len(joins) == 0 {
+		return gr.groundDCScan(b, symmetric, emitPair)
+	}
+	la, ra := joins[0][0], joins[0][1]
+
+	// Index every tuple under every label its t2-role join cell can take
+	// (candidates for noisy cells, initial value otherwise), so pairs that
+	// only violate under a hypothetical repair are still found.
+	bucketR := make(map[int32][]int)
+	for t := 0; t < gr.db.DS.NumTuples(); t++ {
+		for _, l := range gr.candidateLabels(dataset.Cell{Tuple: t, Attr: ra}) {
+			bucketR[l] = append(bucketR[l], t)
+		}
+	}
+	for _, t1 := range gr.tuplesWithQueryRef(b, pickRole(symmetric, 0)) {
+		for _, l := range gr.candidateLabels(dataset.Cell{Tuple: t1, Attr: la}) {
+			for _, t2 := range bucketR[l] {
+				emitPair(t1, t2)
+			}
+		}
+	}
+	if !symmetric {
+		bucketL := make(map[int32][]int)
+		for t := 0; t < gr.db.DS.NumTuples(); t++ {
+			for _, l := range gr.candidateLabels(dataset.Cell{Tuple: t, Attr: la}) {
+				bucketL[l] = append(bucketL[l], t)
+			}
+		}
+		for _, t2 := range gr.tuplesWithQueryRef(b, 1) {
+			for _, l := range gr.candidateLabels(dataset.Cell{Tuple: t2, Attr: ra}) {
+				for _, t1 := range bucketL[l] {
+					emitPair(t1, t2)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// pickRole selects which tuple role the outer loop enumerates: for
+// symmetric constraints either role covers all pairs.
+func pickRole(symmetric bool, role int) int {
+	if symmetric {
+		return -1
+	}
+	return role
+}
+
+// groundDCScan is the pair-scan fallback for constraints with no equality
+// join predicate. The outer loop covers tuples that are dirty in either
+// role; both orientations are emitted and constant factors fold away.
+func (gr *grounder) groundDCScan(b *dc.Bound, symmetric bool, emitPair func(t1, t2 int)) error {
+	n := gr.db.DS.NumTuples()
+	cap := gr.cfg.MaxScanCounterparts
+	for _, t1 := range gr.tuplesWithQueryRef(b, -1) {
+		cnt := 0
+		for t2 := 0; t2 < n; t2++ {
+			if t2 == t1 {
+				continue
+			}
+			emitPair(t1, t2)
+			if !symmetric {
+				emitPair(t2, t1)
+			}
+			cnt++
+			if cap > 0 && cnt >= cap {
+				break
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,209 @@
+// Package discovery implements approximate functional-dependency
+// discovery, the mechanism behind Chu, Ilyas & Papotti's denial-constraint
+// discovery [11] that HoloClean's evaluation relies on for its constraint
+// sets. Given a (mostly clean) dataset it proposes FDs X → A whose
+// violation rate is below a tolerance ε — dirty data never satisfies its
+// true dependencies exactly, so exact FD mining would find nothing.
+//
+// The search walks the lattice of left-hand sides level by level (single
+// attributes, then pairs) in the manner of TANE, scoring each candidate
+// by the fraction of tuples that disagree with their group's majority
+// right-hand value. Discovered FDs convert directly into the denial
+// constraints HoloClean consumes.
+package discovery
+
+import (
+	"sort"
+
+	"holoclean/internal/dataset"
+	"holoclean/internal/dc"
+)
+
+// FD is a discovered approximate functional dependency LHS → RHS.
+type FD struct {
+	LHS []int // attribute indices, ascending
+	RHS int
+	// ViolationRate is the fraction of tuples whose RHS value differs
+	// from their LHS-group majority.
+	ViolationRate float64
+	// Support is the number of tuples in groups of size ≥ 2 (singleton
+	// groups trivially satisfy any FD and carry no evidence).
+	Support int
+}
+
+// Config tunes the search.
+type Config struct {
+	// Epsilon is the maximum tolerated violation rate (default 0.05).
+	Epsilon float64
+	// MinSupport is the minimum number of tuples in non-trivial groups
+	// for an FD to count (default: 10% of tuples).
+	MinSupport int
+	// MaxLHS is the largest left-hand side to consider (1 or 2;
+	// default 1). Level two is quadratic in the attribute count.
+	MaxLHS int
+	// MinGroupShrink rejects left-hand sides that are near-keys: if the
+	// number of LHS groups exceeds this fraction of the tuple count the
+	// dependency is trivial (default 0.9).
+	MinGroupShrink float64
+}
+
+// Discover mines approximate FDs from ds.
+func Discover(ds *dataset.Dataset, cfg Config) []FD {
+	if cfg.Epsilon == 0 {
+		cfg.Epsilon = 0.05
+	}
+	if cfg.MinSupport == 0 {
+		cfg.MinSupport = ds.NumTuples() / 10
+	}
+	if cfg.MaxLHS == 0 {
+		cfg.MaxLHS = 1
+	}
+	if cfg.MinGroupShrink == 0 {
+		cfg.MinGroupShrink = 0.9
+	}
+	var out []FD
+	n := ds.NumAttrs()
+	// Level 1: single-attribute LHS.
+	for a := 0; a < n; a++ {
+		groups, ok := groupBy(ds, []int{a}, cfg)
+		if !ok {
+			continue
+		}
+		for b := 0; b < n; b++ {
+			if b == a {
+				continue
+			}
+			if fd, ok := score(ds, groups, []int{a}, b, cfg); ok {
+				out = append(out, fd)
+			}
+		}
+	}
+	if cfg.MaxLHS >= 2 {
+		covered := make(map[[2]int]bool) // (lhsAttr, rhs) already implied at level 1
+		for _, fd := range out {
+			covered[[2]int{fd.LHS[0], fd.RHS}] = true
+		}
+		for a1 := 0; a1 < n; a1++ {
+			for a2 := a1 + 1; a2 < n; a2++ {
+				groups, ok := groupBy(ds, []int{a1, a2}, cfg)
+				if !ok {
+					continue
+				}
+				for b := 0; b < n; b++ {
+					if b == a1 || b == a2 {
+						continue
+					}
+					// Skip if a subset already determines b (minimality).
+					if covered[[2]int{a1, b}] || covered[[2]int{a2, b}] {
+						continue
+					}
+					if fd, ok := score(ds, groups, []int{a1, a2}, b, cfg); ok {
+						out = append(out, fd)
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ViolationRate != out[j].ViolationRate {
+			return out[i].ViolationRate < out[j].ViolationRate
+		}
+		return out[i].Support > out[j].Support
+	})
+	return out
+}
+
+// groupBy partitions tuple indices by their LHS values, rejecting
+// near-key LHSes. Tuples with a null LHS cell are skipped.
+func groupBy(ds *dataset.Dataset, lhs []int, cfg Config) (map[string][]int, bool) {
+	groups := make(map[string][]int)
+	var key []byte
+	for t := 0; t < ds.NumTuples(); t++ {
+		key = key[:0]
+		null := false
+		for _, a := range lhs {
+			v := ds.Get(t, a)
+			if v == dataset.Null {
+				null = true
+				break
+			}
+			key = append(key, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		if null {
+			continue
+		}
+		groups[string(key)] = append(groups[string(key)], t)
+	}
+	if ds.NumTuples() > 0 && float64(len(groups)) > cfg.MinGroupShrink*float64(ds.NumTuples()) {
+		return nil, false // near-key LHS: trivial dependency
+	}
+	return groups, true
+}
+
+// score evaluates LHS → rhs over precomputed groups.
+func score(ds *dataset.Dataset, groups map[string][]int, lhs []int, rhs int, cfg Config) (FD, bool) {
+	support, violations := 0, 0
+	for _, tuples := range groups {
+		if len(tuples) < 2 {
+			continue
+		}
+		counts := make(map[dataset.Value]int)
+		total := 0
+		for _, t := range tuples {
+			v := ds.Get(t, rhs)
+			if v == dataset.Null {
+				continue
+			}
+			counts[v]++
+			total++
+		}
+		if total < 2 {
+			continue
+		}
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		support += total
+		violations += total - best
+	}
+	if support == 0 || support < cfg.MinSupport {
+		return FD{}, false
+	}
+	rate := float64(violations) / float64(support)
+	if rate > cfg.Epsilon {
+		return FD{}, false
+	}
+	return FD{LHS: append([]int(nil), lhs...), RHS: rhs, ViolationRate: rate, Support: support}, true
+}
+
+// Constraints converts discovered FDs into denial constraints named d1,
+// d2, … in discovery order.
+func Constraints(ds *dataset.Dataset, fds []FD) []*dc.Constraint {
+	var out []*dc.Constraint
+	for i, fd := range fds {
+		lhs := make([]string, len(fd.LHS))
+		for j, a := range fd.LHS {
+			lhs[j] = ds.AttrName(a)
+		}
+		name := "d" + itoa(i+1)
+		out = append(out, dc.FD(name, lhs, []string{ds.AttrName(fd.RHS)})...)
+	}
+	return out
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

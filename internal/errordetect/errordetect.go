@@ -1,0 +1,263 @@
+// Package errordetect implements the error detection module of HoloClean
+// (Section 2.2). Error detection separates the cells of the input dataset
+// into noisy cells D_n (candidates for repair, whose random variables are
+// query variables) and clean cells D_c (treated as evidence during
+// learning). HoloClean treats detection as a black box: any Detector can
+// be plugged in, and a Composite unions several.
+package errordetect
+
+import (
+	"sort"
+
+	"holoclean/internal/dataset"
+	"holoclean/internal/dc"
+	"holoclean/internal/extdict"
+	"holoclean/internal/stats"
+	"holoclean/internal/text"
+	"holoclean/internal/violation"
+)
+
+// Detector flags potentially erroneous cells.
+type Detector interface {
+	// Name identifies the detector in reports.
+	Name() string
+	// Detect returns the cells of ds it considers noisy.
+	Detect(ds *dataset.Dataset) ([]dataset.Cell, error)
+}
+
+// Result is the D_n / D_c split plus which detectors fired per cell.
+type Result struct {
+	Noisy    []dataset.Cell
+	noisySet map[dataset.Cell][]string
+}
+
+// IsNoisy reports whether cell c was flagged.
+func (r *Result) IsNoisy(c dataset.Cell) bool {
+	_, ok := r.noisySet[c]
+	return ok
+}
+
+// FlaggedBy returns the names of the detectors that flagged c.
+func (r *Result) FlaggedBy(c dataset.Cell) []string { return r.noisySet[c] }
+
+// NumNoisy returns |D_n|.
+func (r *Result) NumNoisy() int { return len(r.Noisy) }
+
+// Run executes all detectors and unions their outputs into a Result with
+// deterministic cell order.
+func Run(ds *dataset.Dataset, detectors ...Detector) (*Result, error) {
+	res := &Result{noisySet: make(map[dataset.Cell][]string)}
+	for _, d := range detectors {
+		cells, err := d.Detect(ds)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range cells {
+			res.noisySet[c] = append(res.noisySet[c], d.Name())
+		}
+	}
+	res.Noisy = make([]dataset.Cell, 0, len(res.noisySet))
+	for c := range res.noisySet {
+		res.Noisy = append(res.Noisy, c)
+	}
+	sort.Slice(res.Noisy, func(i, j int) bool {
+		if res.Noisy[i].Tuple != res.Noisy[j].Tuple {
+			return res.Noisy[i].Tuple < res.Noisy[j].Tuple
+		}
+		return res.Noisy[i].Attr < res.Noisy[j].Attr
+	})
+	return res, nil
+}
+
+// Violations flags every cell participating in a denial-constraint
+// violation [11] — the detection mode used for all paper experiments
+// ("for all datasets we seek to repair cells that participate in
+// violations of integrity constraints", Section 6.1).
+type Violations struct {
+	Constraints []*dc.Constraint
+
+	// LastHypergraph, when non-nil after Detect, is the conflict
+	// hypergraph of the detected violations, reusable by partitioning and
+	// by the Holistic baseline without re-running detection.
+	LastHypergraph *violation.Hypergraph
+	LastDetector   *violation.Detector
+}
+
+// Name implements Detector.
+func (v *Violations) Name() string { return "dc-violations" }
+
+// Detect implements Detector.
+func (v *Violations) Detect(ds *dataset.Dataset) ([]dataset.Cell, error) {
+	det, err := violation.NewDetector(ds, v.Constraints)
+	if err != nil {
+		return nil, err
+	}
+	viols := det.Detect()
+	h := violation.BuildHypergraph(det, viols)
+	v.LastHypergraph = h
+	v.LastDetector = det
+	return h.Cells(), nil
+}
+
+// Outliers flags cells whose value is a rare, near-duplicate variant of a
+// dominant value in the same attribute — the frequency/outlier detection
+// family of [15, 22] specialized to categorical data. A value v is an
+// outlier when freq(v) ≤ MaxCount and some value v' in the attribute has
+// freq(v') ≥ DominanceRatio·freq(v) with v ≈ v' (edit similarity), the
+// signature of a misspelling such as "Cicago" vs "Chicago".
+type Outliers struct {
+	MaxCount       int     // rare threshold; default 3
+	DominanceRatio float64 // dominance multiplier; default 10
+}
+
+// Name implements Detector.
+func (o *Outliers) Name() string { return "outliers" }
+
+// Detect implements Detector.
+func (o *Outliers) Detect(ds *dataset.Dataset) ([]dataset.Cell, error) {
+	maxCount := o.MaxCount
+	if maxCount == 0 {
+		maxCount = 3
+	}
+	ratio := o.DominanceRatio
+	if ratio == 0 {
+		ratio = 10
+	}
+	st := stats.Collect(ds)
+	outlier := make([]map[dataset.Value]bool, ds.NumAttrs())
+	for a := 0; a < ds.NumAttrs(); a++ {
+		outlier[a] = make(map[dataset.Value]bool)
+		var rare, common []dataset.Value
+		for _, v := range ds.ActiveDomain(a) {
+			if st.Freq(a, v) <= maxCount {
+				rare = append(rare, v)
+			} else {
+				common = append(common, v)
+			}
+		}
+		for _, rv := range rare {
+			rs := ds.Dict().String(rv)
+			for _, cv := range common {
+				if float64(st.Freq(a, cv)) >= ratio*float64(st.Freq(a, rv)) &&
+					text.Similar(rs, ds.Dict().String(cv)) {
+					outlier[a][rv] = true
+					break
+				}
+			}
+		}
+	}
+	var out []dataset.Cell
+	for t := 0; t < ds.NumTuples(); t++ {
+		for a := 0; a < ds.NumAttrs(); a++ {
+			if outlier[a][ds.Get(t, a)] {
+				out = append(out, dataset.Cell{Tuple: t, Attr: a})
+			}
+		}
+	}
+	return out, nil
+}
+
+// CondOutliers flags conditional outliers in the style of Das &
+// Schneider [15]: a cell whose observed value is poorly supported by its
+// tuple context while some other value is strongly supported. Using the
+// co-occurrence statistics, the support of value v for cell c is the mean
+// of Pr[v | v_sib] over c's non-null sibling cells; c is flagged when its
+// observed support is at most MaxProb and the best value's support is at
+// least MinRatio times larger. This catches errors that violate no
+// integrity constraint — e.g. the "Johnnyo's" DBAName of tuple t4 in
+// Figure 1, which only the quantitative-statistics signal can see.
+type CondOutliers struct {
+	MaxProb  float64 // default 0.35
+	MinRatio float64 // default 3
+}
+
+// Name implements Detector.
+func (o *CondOutliers) Name() string { return "cond-outliers" }
+
+// Detect implements Detector.
+func (o *CondOutliers) Detect(ds *dataset.Dataset) ([]dataset.Cell, error) {
+	maxProb := o.MaxProb
+	if maxProb == 0 {
+		maxProb = 0.35
+	}
+	minRatio := o.MinRatio
+	if minRatio == 0 {
+		minRatio = 2
+	}
+	st := stats.Collect(ds)
+	var out []dataset.Cell
+	for t := 0; t < ds.NumTuples(); t++ {
+		for a := 0; a < ds.NumAttrs(); a++ {
+			obs := ds.Get(t, a)
+			if obs == dataset.Null {
+				continue
+			}
+			// support[v] accumulates Σ_sib Pr[v | v_sib]. Siblings whose
+			// value occurs once carry no distributional information (the
+			// conditional is degenerate) and are skipped.
+			support := make(map[dataset.Value]float64)
+			siblings := 0
+			for g := 0; g < ds.NumAttrs(); g++ {
+				if g == a {
+					continue
+				}
+				vg := ds.Get(t, g)
+				if vg == dataset.Null || st.Freq(g, vg) < 2 {
+					continue
+				}
+				siblings++
+				for v, cnt := range st.GivenHistogram(a, g, vg) {
+					support[v] += float64(cnt) / float64(st.Freq(g, vg))
+				}
+			}
+			if siblings == 0 {
+				continue
+			}
+			obsSupport := support[obs] / float64(siblings)
+			best := 0.0
+			for _, s := range support {
+				if s > best {
+					best = s
+				}
+			}
+			best /= float64(siblings)
+			if obsSupport <= maxProb && best >= minRatio*obsSupport {
+				out = append(out, dataset.Cell{Tuple: t, Attr: a})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Nulls flags empty cells.
+type Nulls struct{}
+
+// Name implements Detector.
+func (Nulls) Name() string { return "nulls" }
+
+// Detect implements Detector.
+func (Nulls) Detect(ds *dataset.Dataset) ([]dataset.Cell, error) {
+	var out []dataset.Cell
+	for t := 0; t < ds.NumTuples(); t++ {
+		for a := 0; a < ds.NumAttrs(); a++ {
+			if ds.Get(t, a) == dataset.Null {
+				out = append(out, dataset.Cell{Tuple: t, Attr: a})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Dictionary flags cells contradicted by external dictionary matches
+// (Section 2.2's "methods that rely on external and labeled data").
+type Dictionary struct {
+	Matcher *extdict.Matcher
+}
+
+// Name implements Detector.
+func (d *Dictionary) Name() string { return "dictionary" }
+
+// Detect implements Detector.
+func (d *Dictionary) Detect(ds *dataset.Dataset) ([]dataset.Cell, error) {
+	return extdict.DetectErrors(ds, d.Matcher.Apply(ds)), nil
+}

@@ -1,0 +1,533 @@
+// Package factor implements the factor-graph substrate HoloClean delegates
+// to DeepDive/DimmWitted in the paper (Section 3.2). A factor graph is a
+// hypergraph (T, F, θ): T are categorical random variables, F are factors
+// (hyperedges) whose functions h map an assignment of their variables to
+// {−1, +1}, and θ are real-valued weights, possibly tied across many
+// factors. The joint distribution is
+//
+//	P(T) = 1/Z · exp( Σ_{φ∈F} θ_φ · h_φ(φ) )       (Equation 1)
+//
+// Variables are split into evidence variables E (fixed to their observed
+// value; clean cells) and query variables Q (values to infer; noisy
+// cells). Two factor shapes cover all of HoloClean's compiled signals:
+//
+//   - Unary indicator factors: h = +1 iff the variable takes a specific
+//     target value (quantitative-statistics features, source features,
+//     external-dictionary matches, minimality priors, and the relaxed
+//     denial-constraint features of Section 5.2, which use negated heads).
+//
+//   - N-ary denial-constraint factors (Algorithm 1): h = +1 iff the
+//     grounded constraint is satisfied, i.e. NOT all of its predicates
+//     hold simultaneously.
+//
+// Variables carry dense int32 labels; the meaning of labels (interned
+// dataset values) belongs to the compiler. Non-equality predicate
+// operators are delegated to a caller-supplied label comparator.
+package factor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Op codes for n-ary factor predicates. They mirror dc.Op but live here so
+// the factor substrate does not depend on the constraint language.
+const (
+	OpEq uint8 = iota
+	OpNeq
+	OpLt
+	OpGt
+	OpLeq
+	OpGeq
+	OpSim
+)
+
+// Variable is a categorical random variable.
+type Variable struct {
+	// Domain lists the labels the variable may take; Assign and Obs are
+	// indices into it.
+	Domain []int32
+	// Evidence marks the variable as fixed to Domain[Obs].
+	Evidence bool
+	// Obs is the observed value's domain index (evidence variables), or
+	// the initial value's index for query variables (-1 when the initial
+	// value is not a candidate).
+	Obs int32
+	// Assign is the current assignment maintained by samplers.
+	Assign int32
+}
+
+// Unary is an indicator factor on one variable:
+// h = +1 if Assign == Target else −1. Neg flips the indicator
+// (h = −1 if Assign == Target else +1), which grounds the negated heads
+// of relaxed denial constraints (Example 6). Count is the grounding
+// multiplicity: k identical groundings are stored once and contribute
+// k·θ·h, exactly as k separate factors would.
+type Unary struct {
+	Var    int32
+	Target int32 // domain index
+	Weight int32
+	Count  int32
+	Neg    bool
+}
+
+// Soft is a real-valued unary factor: it contributes θ·H[d] when its
+// variable takes domain index d. HoloClean grounds one per variable to
+// carry the co-occurrence probability statistic Pr[d | sibling values],
+// with the weight tied per attribute — the real-valued featurization the
+// original system's statistics featurizer uses, which generalizes across
+// values that never appear among the evidence cells.
+type Soft struct {
+	Var    int32
+	Weight int32
+	H      []float64 // len == len(Domain)
+}
+
+// Pred is one predicate of an n-ary factor, over factor slots. Slots index
+// into the factor's Vars. A negative RightSlot means the right side is the
+// constant label RightConst (already folded by the grounder).
+type Pred struct {
+	LeftSlot   int32
+	RightSlot  int32
+	RightConst int32
+	Op         uint8
+}
+
+// Nary is a grounded denial-constraint factor: h = −1 when every predicate
+// holds under the current assignment (the constraint is violated), +1
+// otherwise.
+type Nary struct {
+	Vars   []int32
+	Preds  []Pred
+	Weight int32
+}
+
+// Weights is the tied-weight store. Keys identify parameter-tying groups,
+// e.g. "feat|City|Chicago|Zip=60608" or "dict|zipdb". Fixed weights are
+// priors excluded from learning.
+type Weights struct {
+	W     []float64
+	Fixed []bool
+	Keys  []string
+	ids   map[string]int32
+}
+
+// NewWeights returns an empty weight store.
+func NewWeights() *Weights {
+	return &Weights{ids: make(map[string]int32)}
+}
+
+// ID returns the weight id for key, creating it with the given initial
+// value and fixedness on first use.
+func (w *Weights) ID(key string, init float64, fixed bool) int32 {
+	if id, ok := w.ids[key]; ok {
+		return id
+	}
+	id := int32(len(w.W))
+	w.W = append(w.W, init)
+	w.Fixed = append(w.Fixed, fixed)
+	w.Keys = append(w.Keys, key)
+	w.ids[key] = id
+	return id
+}
+
+// Len returns the number of distinct weights.
+func (w *Weights) Len() int { return len(w.W) }
+
+// NumLearnable counts the non-fixed weights.
+func (w *Weights) NumLearnable() int {
+	n := 0
+	for _, f := range w.Fixed {
+		if !f {
+			n++
+		}
+	}
+	return n
+}
+
+// Graph is a factor graph under construction or frozen for inference.
+type Graph struct {
+	Vars    []Variable
+	Unaries []Unary
+	Softs   []Soft
+	Naries  []Nary
+	Weights *Weights
+
+	// Cmp evaluates non-equality predicate operators over labels. It may
+	// be nil when all predicates are OpEq/OpNeq.
+	Cmp func(op uint8, a, b int32) bool
+
+	frozen   bool
+	varUnary [][]int32 // variable → incident unary factor indices
+	varSoft  [][]int32 // variable → incident soft factor indices
+	varNary  [][]int32 // variable → incident n-ary factor indices
+}
+
+// NewGraph returns an empty graph with a fresh weight store.
+func NewGraph() *Graph {
+	return &Graph{Weights: NewWeights()}
+}
+
+// AddVariable appends a variable and returns its id. Evidence variables
+// must pass the observed domain index; query variables pass the initial
+// value's index or -1.
+func (g *Graph) AddVariable(domain []int32, evidence bool, obs int32) int32 {
+	if g.frozen {
+		panic("factor: AddVariable on frozen graph")
+	}
+	if len(domain) == 0 {
+		panic("factor: variable with empty domain")
+	}
+	if evidence && (obs < 0 || int(obs) >= len(domain)) {
+		panic(fmt.Sprintf("factor: evidence variable with out-of-domain observation %d", obs))
+	}
+	assign := obs
+	if assign < 0 {
+		assign = 0
+	}
+	g.Vars = append(g.Vars, Variable{Domain: domain, Evidence: evidence, Obs: obs, Assign: assign})
+	return int32(len(g.Vars) - 1)
+}
+
+// AddUnary appends a unary indicator factor with multiplicity count.
+func (g *Graph) AddUnary(v, target, weight int32, neg bool, count int32) {
+	if g.frozen {
+		panic("factor: AddUnary on frozen graph")
+	}
+	if count < 1 {
+		count = 1
+	}
+	g.Unaries = append(g.Unaries, Unary{Var: v, Target: target, Weight: weight, Neg: neg, Count: count})
+}
+
+// AddNary appends a grounded denial-constraint factor.
+func (g *Graph) AddNary(vars []int32, preds []Pred, weight int32) {
+	if g.frozen {
+		panic("factor: AddNary on frozen graph")
+	}
+	g.Naries = append(g.Naries, Nary{Vars: vars, Preds: preds, Weight: weight})
+}
+
+// AddSoft appends a real-valued unary factor. h must have one entry per
+// domain value of v.
+func (g *Graph) AddSoft(v, weight int32, h []float64) {
+	if g.frozen {
+		panic("factor: AddSoft on frozen graph")
+	}
+	if len(h) != len(g.Vars[v].Domain) {
+		panic("factor: AddSoft h length mismatch")
+	}
+	g.Softs = append(g.Softs, Soft{Var: v, Weight: weight, H: h})
+}
+
+// NumFactors returns the total factor count, the quantity the grounding
+// optimizations of Section 5.1 shrink.
+func (g *Graph) NumFactors() int { return len(g.Unaries) + len(g.Softs) + len(g.Naries) }
+
+// NumQuery counts query (non-evidence) variables.
+func (g *Graph) NumQuery() int {
+	n := 0
+	for i := range g.Vars {
+		if !g.Vars[i].Evidence {
+			n++
+		}
+	}
+	return n
+}
+
+// Freeze builds adjacency indexes; the graph structure becomes immutable
+// (weights and assignments stay mutable).
+func (g *Graph) Freeze() {
+	if g.frozen {
+		return
+	}
+	g.varUnary = make([][]int32, len(g.Vars))
+	g.varSoft = make([][]int32, len(g.Vars))
+	g.varNary = make([][]int32, len(g.Vars))
+	for i := range g.Unaries {
+		v := g.Unaries[i].Var
+		g.varUnary[v] = append(g.varUnary[v], int32(i))
+	}
+	for i := range g.Softs {
+		v := g.Softs[i].Var
+		g.varSoft[v] = append(g.varSoft[v], int32(i))
+	}
+	for i := range g.Naries {
+		for _, v := range g.Naries[i].Vars {
+			g.varNary[v] = append(g.varNary[v], int32(i))
+		}
+	}
+	g.frozen = true
+}
+
+// Frozen reports whether Freeze has run.
+func (g *Graph) Frozen() bool { return g.frozen }
+
+// IncidentUnaries returns the unary factor indices touching variable v.
+// The graph must be frozen.
+func (g *Graph) IncidentUnaries(v int32) []int32 { return g.varUnary[v] }
+
+// IncidentSofts returns the soft factor indices touching variable v.
+// The graph must be frozen.
+func (g *Graph) IncidentSofts(v int32) []int32 { return g.varSoft[v] }
+
+// IncidentNaries returns the n-ary factor indices touching variable v.
+// The graph must be frozen.
+func (g *Graph) IncidentNaries(v int32) []int32 { return g.varNary[v] }
+
+// NaryH exposes the factor function h of an n-ary factor, with slot
+// hypSlot hypothetically assigned hypLabel (hypSlot < 0 evaluates the
+// current assignment). Learning uses it for gradient expectations.
+func (g *Graph) NaryH(f *Nary, hypSlot, hypLabel int32) float64 {
+	return g.naryH(f, hypSlot, hypLabel)
+}
+
+// label returns the label currently assigned to variable v.
+func (g *Graph) label(v int32) int32 {
+	vr := &g.Vars[v]
+	return vr.Domain[vr.Assign]
+}
+
+// predHolds evaluates one predicate of factor f under the current
+// assignment, with slot s of the factor hypothetically assigned hypLabel
+// when s == hypSlot (hypSlot < 0 disables the hypothesis).
+func (g *Graph) predHolds(f *Nary, p *Pred, hypSlot int32, hypLabel int32) bool {
+	var left int32
+	if p.LeftSlot == hypSlot {
+		left = hypLabel
+	} else {
+		left = g.label(f.Vars[p.LeftSlot])
+	}
+	var right int32
+	switch {
+	case p.RightSlot < 0:
+		right = p.RightConst
+	case p.RightSlot == hypSlot:
+		right = hypLabel
+	default:
+		right = g.label(f.Vars[p.RightSlot])
+	}
+	switch p.Op {
+	case OpEq:
+		return left == right
+	case OpNeq:
+		return left != right
+	default:
+		if g.Cmp == nil {
+			panic("factor: non-equality predicate without a Cmp comparator")
+		}
+		return g.Cmp(p.Op, left, right)
+	}
+}
+
+// naryH returns h of factor f (+1 satisfied / −1 violated) with the
+// optional hypothetical slot assignment.
+func (g *Graph) naryH(f *Nary, hypSlot, hypLabel int32) float64 {
+	for i := range f.Preds {
+		if !g.predHolds(f, &f.Preds[i], hypSlot, hypLabel) {
+			return 1
+		}
+	}
+	return -1
+}
+
+// LocalScores fills buf with the unnormalized log-probability of variable
+// v taking each of its domain values, holding all other variables at their
+// current assignment:
+//
+//	score(d) = Σ_{φ ∋ v} θ_φ · h_φ(… T_v = d …)
+//
+// buf must have length len(Domain). Both the Gibbs sampler's conditional
+// distribution and the pseudo-likelihood gradient are softmaxes of these
+// scores.
+func (g *Graph) LocalScores(v int32, buf []float64) {
+	if !g.frozen {
+		panic("factor: LocalScores before Freeze")
+	}
+	vr := &g.Vars[v]
+	if len(buf) != len(vr.Domain) {
+		panic("factor: LocalScores buffer size mismatch")
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+	for _, ui := range g.varUnary[v] {
+		u := &g.Unaries[ui]
+		w := g.Weights.W[u.Weight] * float64(u.Count)
+		// h = ±1 indicator: score(d) gets +w at the target and −w
+		// elsewhere (signs flipped for negated heads).
+		for d := range buf {
+			h := -1.0
+			if int32(d) == u.Target {
+				h = 1.0
+			}
+			if u.Neg {
+				h = -h
+			}
+			buf[d] += w * h
+		}
+	}
+	for _, si := range g.varSoft[v] {
+		s := &g.Softs[si]
+		w := g.Weights.W[s.Weight]
+		for d := range buf {
+			buf[d] += w * s.H[d]
+		}
+	}
+	for _, ni := range g.varNary[v] {
+		f := &g.Naries[ni]
+		w := g.Weights.W[f.Weight]
+		slot := int32(-1)
+		for s, fv := range f.Vars {
+			if fv == v {
+				slot = int32(s)
+				break
+			}
+		}
+		for d := range buf {
+			buf[d] += w * g.naryH(f, slot, vr.Domain[d])
+		}
+	}
+}
+
+// Energy returns Σ θ·h under the current full assignment — useful for
+// tests and for exact enumeration on tiny graphs.
+func (g *Graph) Energy() float64 {
+	e := 0.0
+	for i := range g.Unaries {
+		u := &g.Unaries[i]
+		h := -1.0
+		if g.Vars[u.Var].Assign == u.Target {
+			h = 1.0
+		}
+		if u.Neg {
+			h = -h
+		}
+		e += g.Weights.W[u.Weight] * h * float64(u.Count)
+	}
+	for i := range g.Softs {
+		s := &g.Softs[i]
+		e += g.Weights.W[s.Weight] * s.H[g.Vars[s.Var].Assign]
+	}
+	for i := range g.Naries {
+		e += g.Weights.W[g.Naries[i].Weight] * g.naryH(&g.Naries[i], -1, 0)
+	}
+	return e
+}
+
+// HasNaryOnQuery reports whether any n-ary factor touches a query
+// variable. When false the query variables are independent given the
+// evidence, the regime of Section 5.2 where Gibbs mixes in O(n log n)
+// and exact marginals are closed-form softmaxes.
+func (g *Graph) HasNaryOnQuery() bool {
+	for i := range g.Naries {
+		for _, v := range g.Naries[i].Vars {
+			if !g.Vars[v].Evidence {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Marginals holds per-variable posterior distributions over domain indices.
+type Marginals struct {
+	P [][]float64
+}
+
+// Prob returns P(T_v = Domain[d]).
+func (m *Marginals) Prob(v int32, d int) float64 { return m.P[v][d] }
+
+// MAP returns the maximum a posteriori domain index for variable v and its
+// probability.
+func (m *Marginals) MAP(v int32) (int, float64) {
+	best, bp := 0, math.Inf(-1)
+	for d, p := range m.P[v] {
+		if p > bp {
+			best, bp = d, p
+		}
+	}
+	return best, bp
+}
+
+// ExactMarginals enumerates every joint assignment of the query variables
+// (evidence fixed) and returns exact posteriors. It is exponential and
+// guarded: the product of query-domain sizes must not exceed maxStates.
+// Tests use it as the ground truth for the Gibbs sampler.
+func ExactMarginals(g *Graph, maxStates int) (*Marginals, error) {
+	g.Freeze()
+	var query []int32
+	states := 1
+	for i := range g.Vars {
+		if g.Vars[i].Evidence {
+			g.Vars[i].Assign = g.Vars[i].Obs
+			continue
+		}
+		query = append(query, int32(i))
+		states *= len(g.Vars[i].Domain)
+		if states > maxStates {
+			return nil, fmt.Errorf("factor: state space exceeds %d", maxStates)
+		}
+	}
+	m := &Marginals{P: make([][]float64, len(g.Vars))}
+	for i := range g.Vars {
+		m.P[i] = make([]float64, len(g.Vars[i].Domain))
+	}
+	saved := make([]int32, len(query))
+	for qi, v := range query {
+		saved[qi] = g.Vars[v].Assign
+	}
+	// Accumulate exp(energy) per assignment with a running max for
+	// numerical stability (two passes).
+	assign := make([]int32, len(query))
+	var energies []float64
+	var combos [][]int32
+	for {
+		for qi, v := range query {
+			g.Vars[v].Assign = assign[qi]
+		}
+		energies = append(energies, g.Energy())
+		combos = append(combos, append([]int32(nil), assign...))
+		// Advance odometer.
+		k := 0
+		for k < len(query) {
+			assign[k]++
+			if int(assign[k]) < len(g.Vars[query[k]].Domain) {
+				break
+			}
+			assign[k] = 0
+			k++
+		}
+		if k == len(query) {
+			break
+		}
+	}
+	maxE := math.Inf(-1)
+	for _, e := range energies {
+		if e > maxE {
+			maxE = e
+		}
+	}
+	var z float64
+	for i, e := range energies {
+		p := math.Exp(e - maxE)
+		z += p
+		for qi, v := range query {
+			m.P[v][combos[i][qi]] += p
+		}
+	}
+	for _, v := range query {
+		for d := range m.P[v] {
+			m.P[v][d] /= z
+		}
+	}
+	for i := range g.Vars {
+		if g.Vars[i].Evidence {
+			m.P[i][g.Vars[i].Obs] = 1
+		}
+	}
+	for qi, v := range query {
+		g.Vars[v].Assign = saved[qi]
+	}
+	return m, nil
+}

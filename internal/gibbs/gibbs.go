@@ -1,0 +1,250 @@
+// Package gibbs implements the approximate-inference engine HoloClean runs
+// over its grounded factor graph (Section 2.2): single-site Gibbs sampling
+// with burn-in, marginal estimation, and MAP extraction. For the relaxed
+// models of Section 5.2 the graph has only independent query variables,
+// where Gibbs is guaranteed to mix in O(n log n) steps [21, 36]; the
+// sampler also exposes that closed form directly (Exact), which tests use
+// to validate the sampler and callers can use as a fast path.
+package gibbs
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"holoclean/internal/factor"
+)
+
+// Config controls the sampler.
+type Config struct {
+	// BurnIn is the number of full sweeps discarded before collecting
+	// marginal statistics.
+	BurnIn int
+	// Samples is the number of sweeps whose states are accumulated into
+	// the marginal estimates.
+	Samples int
+	// Seed makes runs reproducible.
+	Seed int64
+	// Parallel samples independent query variables across all CPUs, the
+	// way DimmWitted [41] parallelizes inference. It applies only when no
+	// correlation factor touches a query variable (the Section 5.2
+	// regime) — each variable's conditional then depends only on clamped
+	// evidence, so per-variable chains are exact and race-free. Graphs
+	// with query-side correlations fall back to sequential sweeps.
+	Parallel bool
+}
+
+// DefaultConfig mirrors the modest sampling budgets DeepDive-style systems
+// use once mixing is fast (Section 5.2).
+func DefaultConfig() Config { return Config{BurnIn: 10, Samples: 50, Seed: 1} }
+
+// Run performs Gibbs sampling over the query variables of g and returns
+// estimated marginals. Evidence variables stay clamped at their observed
+// values and have point-mass marginals.
+func Run(g *factor.Graph, cfg Config) *factor.Marginals {
+	g.Freeze()
+	if cfg.Parallel && !g.HasNaryOnQuery() {
+		return runParallel(g, cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var query []int32
+	maxDom := 1
+	for i := range g.Vars {
+		v := &g.Vars[i]
+		if v.Evidence {
+			v.Assign = v.Obs
+			continue
+		}
+		query = append(query, int32(i))
+		if len(v.Domain) > maxDom {
+			maxDom = len(v.Domain)
+		}
+		// Start at the initial observed value when it survived pruning,
+		// otherwise at a random candidate.
+		if v.Obs >= 0 {
+			v.Assign = v.Obs
+		} else {
+			v.Assign = int32(rng.Intn(len(v.Domain)))
+		}
+	}
+	counts := make([][]float64, len(g.Vars))
+	for i := range g.Vars {
+		counts[i] = make([]float64, len(g.Vars[i].Domain))
+	}
+	buf := make([]float64, maxDom)
+	order := make([]int32, len(query))
+	copy(order, query)
+
+	sweeps := cfg.BurnIn + cfg.Samples
+	for sweep := 0; sweep < sweeps; sweep++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, v := range order {
+			dom := len(g.Vars[v].Domain)
+			scores := buf[:dom]
+			g.LocalScores(v, scores)
+			g.Vars[v].Assign = int32(sampleSoftmax(rng, scores))
+		}
+		if sweep >= cfg.BurnIn {
+			for _, v := range query {
+				counts[v][g.Vars[v].Assign]++
+			}
+		}
+	}
+
+	m := &factor.Marginals{P: counts}
+	n := float64(cfg.Samples)
+	for _, v := range query {
+		for d := range m.P[v] {
+			m.P[v][d] /= n
+		}
+	}
+	for i := range g.Vars {
+		if g.Vars[i].Evidence {
+			m.P[i][g.Vars[i].Obs] = 1
+		}
+	}
+	return m
+}
+
+// runParallel runs per-variable chains concurrently. Only valid when no
+// n-ary factor touches a query variable: every conditional is then
+// independent of other query variables and each variable's chain can be
+// sampled in isolation. Each variable gets its own seeded RNG, so results
+// are deterministic regardless of scheduling.
+func runParallel(g *factor.Graph, cfg Config) *factor.Marginals {
+	var query []int32
+	for i := range g.Vars {
+		v := &g.Vars[i]
+		if v.Evidence {
+			v.Assign = v.Obs
+			continue
+		}
+		query = append(query, int32(i))
+	}
+	counts := make([][]float64, len(g.Vars))
+	for i := range g.Vars {
+		counts[i] = make([]float64, len(g.Vars[i].Domain))
+	}
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]float64, 0, 64)
+			for qi := w; qi < len(query); qi += workers {
+				v := query[qi]
+				vr := &g.Vars[v]
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(v)*1_000_003))
+				dom := len(vr.Domain)
+				if cap(buf) < dom {
+					buf = make([]float64, dom)
+				}
+				scores := buf[:dom]
+				// The conditional never changes (no query-side deps):
+				// compute once, then draw BurnIn+Samples times.
+				if vr.Obs >= 0 {
+					vr.Assign = vr.Obs
+				} else {
+					vr.Assign = int32(rng.Intn(dom))
+				}
+				g.LocalScores(v, scores)
+				for s := 0; s < cfg.BurnIn; s++ {
+					sampleSoftmax(rng, scores)
+				}
+				for s := 0; s < cfg.Samples; s++ {
+					counts[v][sampleSoftmax(rng, scores)]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	m := &factor.Marginals{P: counts}
+	n := float64(cfg.Samples)
+	for _, v := range query {
+		best := 0
+		for d := range m.P[v] {
+			m.P[v][d] /= n
+			if m.P[v][d] > m.P[v][best] {
+				best = d
+			}
+		}
+		g.Vars[v].Assign = int32(best)
+	}
+	for i := range g.Vars {
+		if g.Vars[i].Evidence {
+			m.P[i][g.Vars[i].Obs] = 1
+		}
+	}
+	return m
+}
+
+// Exact computes marginals in closed form for graphs whose query variables
+// are independent given the evidence (no n-ary factor touches a query
+// variable): each variable's posterior is the softmax of its local scores.
+// It panics if the graph has query-side correlations.
+func Exact(g *factor.Graph) *factor.Marginals {
+	g.Freeze()
+	if g.HasNaryOnQuery() {
+		panic("gibbs: Exact requires an independent-variable graph (Section 5.2 relaxation)")
+	}
+	for i := range g.Vars {
+		if g.Vars[i].Evidence {
+			g.Vars[i].Assign = g.Vars[i].Obs
+		}
+	}
+	m := &factor.Marginals{P: make([][]float64, len(g.Vars))}
+	for i := range g.Vars {
+		v := &g.Vars[i]
+		m.P[i] = make([]float64, len(v.Domain))
+		if v.Evidence {
+			m.P[i][v.Obs] = 1
+			continue
+		}
+		g.LocalScores(int32(i), m.P[i])
+		softmaxInPlace(m.P[i])
+	}
+	return m
+}
+
+// sampleSoftmax draws an index proportionally to exp(scores).
+func sampleSoftmax(rng *rand.Rand, scores []float64) int {
+	maxS := math.Inf(-1)
+	for _, s := range scores {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	var z float64
+	for _, s := range scores {
+		z += math.Exp(s - maxS)
+	}
+	u := rng.Float64() * z
+	var acc float64
+	for i, s := range scores {
+		acc += math.Exp(s - maxS)
+		if u < acc {
+			return i
+		}
+	}
+	return len(scores) - 1
+}
+
+// softmaxInPlace turns scores into probabilities.
+func softmaxInPlace(scores []float64) {
+	maxS := math.Inf(-1)
+	for _, s := range scores {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	var z float64
+	for i, s := range scores {
+		scores[i] = math.Exp(s - maxS)
+		z += scores[i]
+	}
+	for i := range scores {
+		scores[i] /= z
+	}
+}

@@ -1,0 +1,219 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"holoclean/internal/datagen"
+)
+
+// tinyConfig keeps harness tests fast.
+func tinyConfig() Config {
+	return Config{
+		HospitalTuples:   200,
+		FlightsTuples:    300,
+		FoodTuples:       300,
+		PhysiciansTuples: 400,
+		Seed:             1,
+		BaselineTimeout:  time.Minute,
+	}
+}
+
+func TestTable2(t *testing.T) {
+	rows, err := Table2(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	names := []string{"hospital", "flights", "food", "physicians"}
+	for i, r := range rows {
+		if r.Dataset != names[i] {
+			t.Errorf("row %d dataset = %q", i, r.Dataset)
+		}
+		if r.Violations <= 0 || r.NoisyCells <= 0 || r.ICs < 4 {
+			t.Errorf("%s profile incomplete: %+v", r.Dataset, r)
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable2(&buf, rows)
+	if !strings.Contains(buf.String(), "physicians") {
+		t.Errorf("PrintTable2 output incomplete")
+	}
+}
+
+func TestTable3ShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full method comparison is slow")
+	}
+	rows := Table3(tinyConfig())
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		hc := r.Results[0]
+		if hc.Err != nil {
+			t.Fatalf("%s: HoloClean failed: %v", r.Dataset, hc.Err)
+		}
+		// The paper's headline: HoloClean's F1 is the best of the four
+		// methods on every dataset.
+		for _, m := range r.Results[1:] {
+			if m.NA || m.TimedOut || m.Err != nil {
+				continue
+			}
+			if m.Eval.F1 > hc.Eval.F1+1e-9 {
+				t.Errorf("%s: %s F1 %.3f beats HoloClean %.3f",
+					r.Dataset, m.Method, m.Eval.F1, hc.Eval.F1)
+			}
+		}
+	}
+	// KATARA is n/a on flights (no dictionary) and repairs nothing on
+	// physicians (zip format mismatch).
+	if !rows[1].Results[2].NA {
+		t.Errorf("KATARA should be n/a on flights")
+	}
+	if f1 := rows[3].Results[2].Eval.F1; f1 != 0 {
+		t.Errorf("KATARA on physicians F1 = %v, want 0", f1)
+	}
+	var buf bytes.Buffer
+	PrintTable3(&buf, rows)
+	PrintTable4(&buf, rows)
+	if !strings.Contains(buf.String(), "HoloClean") {
+		t.Errorf("print output incomplete")
+	}
+}
+
+func TestPaperTau(t *testing.T) {
+	if PaperTau("hospital") != 0.5 || PaperTau("flights") != 0.3 ||
+		PaperTau("food") != 0.5 || PaperTau("physicians") != 0.7 ||
+		PaperTau("unknown") != 0.5 {
+		t.Errorf("PaperTau mapping wrong")
+	}
+}
+
+func TestRunBaselinesTimeout(t *testing.T) {
+	g := datagen.Hospital(datagen.Config{Tuples: 200, Seed: 1})
+	r := RunHolistic(g, time.Nanosecond)
+	if !r.TimedOut {
+		t.Errorf("nanosecond budget should time out")
+	}
+	r2 := RunKATARA(g, time.Minute)
+	if r2.NA || r2.Err != nil {
+		t.Errorf("KATARA should run on hospital: %+v", r2)
+	}
+}
+
+func TestFigure3And4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	cfg := tinyConfig()
+	pts := Figure3(cfg)
+	if len(pts) != 4*len(TauSweep) {
+		t.Fatalf("figure3 points = %d", len(pts))
+	}
+	pts4 := Figure4(cfg)
+	if len(pts4) != 4*len(TauSweep) {
+		t.Fatalf("figure4 points = %d", len(pts4))
+	}
+	var buf bytes.Buffer
+	PrintFigure3(&buf, pts)
+	PrintFigure4(&buf, pts4)
+	if buf.Len() == 0 {
+		t.Errorf("figure printers produced nothing")
+	}
+}
+
+func TestFigure5VariantOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("variant matrix is slow")
+	}
+	cfg := tinyConfig()
+	pts := Figure5(cfg)
+	if len(pts) != len(Variants)*len(TauSweep) {
+		t.Fatalf("figure5 points = %d", len(pts))
+	}
+	// DC Feats must be the fastest repair at the smallest τ (the paper's
+	// scalability point for the relaxation).
+	var feats, factors *Figure5Point
+	for i := range pts {
+		if pts[i].Tau != TauSweep[0] {
+			continue
+		}
+		switch pts[i].Variant {
+		case "DC Feats":
+			feats = &pts[i]
+		case "DC Factors":
+			factors = &pts[i]
+		}
+	}
+	if feats == nil || factors == nil {
+		t.Fatal("variants missing from sweep")
+	}
+	if feats.Repair > factors.Repair {
+		t.Errorf("DC Feats repair (%v) should be faster than DC Factors (%v)",
+			feats.Repair, factors.Repair)
+	}
+}
+
+func TestFigure6Monotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration run is slow")
+	}
+	buckets := Figure6(tinyConfig())
+	if len(buckets) == 0 {
+		t.Fatal("no calibration buckets")
+	}
+	// Aggregate across datasets: the first bucket's error rate must
+	// exceed the last bucket's (Figure 6's shape).
+	loWrong, loN, hiWrong, hiN := 0.0, 0, 0.0, 0
+	for _, bs := range buckets {
+		if len(bs) != 5 {
+			t.Fatalf("bucket count = %d", len(bs))
+		}
+		loWrong += bs[0].ErrorRate * float64(bs[0].Count)
+		loN += bs[0].Count
+		hiWrong += bs[4].ErrorRate * float64(bs[4].Count)
+		hiN += bs[4].Count
+	}
+	if loN > 0 && hiN > 0 {
+		if loWrong/float64(loN) < hiWrong/float64(hiN) {
+			t.Errorf("calibration not monotone: low-bucket %.3f < high-bucket %.3f",
+				loWrong/float64(loN), hiWrong/float64(hiN))
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grounding ablation is slow")
+	}
+	g := datagen.Food(datagen.Config{Tuples: 400, Seed: 1})
+	rows, err := AblationGroundingSize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("ablation rows = %d", len(rows))
+	}
+	// Pruning must shrink the paper-style grounding count dramatically.
+	if rows[0].PaperFactors <= rows[1].PaperFactors {
+		t.Errorf("pruning did not reduce grounding: %d vs %d",
+			rows[0].PaperFactors, rows[1].PaperFactors)
+	}
+	// Partitioning must not increase it.
+	if rows[2].PaperFactors > rows[1].PaperFactors {
+		t.Errorf("partitioning increased grounding: %d vs %d",
+			rows[2].PaperFactors, rows[1].PaperFactors)
+	}
+	var buf bytes.Buffer
+	PrintGroundingSize(&buf, rows)
+	part := AblationPartitioning(g)
+	if len(part) != 2 {
+		t.Fatalf("partitioning rows = %d", len(part))
+	}
+	PrintPartitioning(&buf, part)
+}

@@ -1,0 +1,108 @@
+// Package metrics implements the evaluation methodology of Section 6.1:
+// precision (correct repairs over performed repairs), recall (correct
+// repairs over total errors), F1, and the marginal-probability calibration
+// buckets of Figure 6.
+package metrics
+
+import (
+	"fmt"
+
+	"holoclean/internal/dataset"
+)
+
+// Eval summarizes repair quality against ground truth.
+type Eval struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+
+	Repairs        int // repairs performed (dirty → repaired changes)
+	CorrectRepairs int // repairs whose new value matches ground truth
+	Errors         int // cells where dirty differs from truth
+}
+
+// Evaluate compares a repaired dataset against the dirty input and the
+// ground truth. All three datasets must share the schema; values are
+// compared as strings so the truth dataset may use its own dictionary.
+func Evaluate(dirty, repaired, truth *dataset.Dataset) Eval {
+	var e Eval
+	for t := 0; t < dirty.NumTuples(); t++ {
+		for a := 0; a < dirty.NumAttrs(); a++ {
+			d := dirty.GetString(t, a)
+			r := repaired.GetString(t, a)
+			g := truth.GetString(t, a)
+			if d != g {
+				e.Errors++
+			}
+			if r != d {
+				e.Repairs++
+				if r == g {
+					e.CorrectRepairs++
+				}
+			}
+		}
+	}
+	if e.Repairs > 0 {
+		e.Precision = float64(e.CorrectRepairs) / float64(e.Repairs)
+	}
+	if e.Errors > 0 {
+		e.Recall = float64(e.CorrectRepairs) / float64(e.Errors)
+	}
+	if e.Precision+e.Recall > 0 {
+		e.F1 = 2 * e.Precision * e.Recall / (e.Precision + e.Recall)
+	}
+	return e
+}
+
+// String renders the Table 3 style triple.
+func (e Eval) String() string {
+	return fmt.Sprintf("Prec %.3f  Rec %.3f  F1 %.3f (%d/%d repairs correct, %d errors)",
+		e.Precision, e.Recall, e.F1, e.CorrectRepairs, e.Repairs, e.Errors)
+}
+
+// ProbedRepair is one repair with the marginal probability HoloClean
+// attached to it and whether it matched ground truth.
+type ProbedRepair struct {
+	Probability float64
+	Correct     bool
+}
+
+// Bucket is one bar of Figure 6: repairs whose marginal lies in [Lo, Hi)
+// and the fraction of them that were wrong.
+type Bucket struct {
+	Lo, Hi    float64
+	Count     int
+	ErrorRate float64
+}
+
+// Calibration buckets repairs by marginal probability, reproducing
+// Figure 6. The paper uses five buckets from 0.5 to 1.0 (the MAP value of
+// a repair always has probability ≥ 1/|domain|, and interesting repairs
+// sit above 0.5); the final bucket is closed at 1.0.
+func Calibration(repairs []ProbedRepair) []Bucket {
+	edges := []float64{0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	buckets := make([]Bucket, len(edges)-1)
+	wrong := make([]int, len(buckets))
+	for i := range buckets {
+		buckets[i].Lo = edges[i]
+		buckets[i].Hi = edges[i+1]
+	}
+	for _, r := range repairs {
+		for i := range buckets {
+			last := i == len(buckets)-1
+			if r.Probability >= buckets[i].Lo && (r.Probability < buckets[i].Hi || (last && r.Probability <= buckets[i].Hi)) {
+				buckets[i].Count++
+				if !r.Correct {
+					wrong[i]++
+				}
+				break
+			}
+		}
+	}
+	for i := range buckets {
+		if buckets[i].Count > 0 {
+			buckets[i].ErrorRate = float64(wrong[i]) / float64(buckets[i].Count)
+		}
+	}
+	return buckets
+}

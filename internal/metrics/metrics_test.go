@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"holoclean/internal/dataset"
+)
+
+func triple() (dirty, repaired, truth *dataset.Dataset) {
+	mk := func(rows [][]string) *dataset.Dataset {
+		ds := dataset.New([]string{"A", "B"})
+		for _, r := range rows {
+			ds.Append(r)
+		}
+		return ds
+	}
+	truth = mk([][]string{{"a", "1"}, {"b", "2"}, {"c", "3"}})
+	dirty = mk([][]string{{"a", "9"}, {"x", "2"}, {"c", "3"}})    // errors: t0.B, t1.A
+	repaired = mk([][]string{{"a", "1"}, {"x", "2"}, {"c", "7"}}) // fixed t0.B, missed t1.A, broke t2.B
+	return
+}
+
+func TestEvaluate(t *testing.T) {
+	dirty, repaired, truth := triple()
+	e := Evaluate(dirty, repaired, truth)
+	if e.Errors != 2 {
+		t.Errorf("Errors = %d, want 2", e.Errors)
+	}
+	if e.Repairs != 2 || e.CorrectRepairs != 1 {
+		t.Errorf("Repairs = %d/%d, want 2 with 1 correct", e.CorrectRepairs, e.Repairs)
+	}
+	if e.Precision != 0.5 {
+		t.Errorf("Precision = %v, want 0.5", e.Precision)
+	}
+	if e.Recall != 0.5 {
+		t.Errorf("Recall = %v, want 0.5", e.Recall)
+	}
+	if math.Abs(e.F1-0.5) > 1e-12 {
+		t.Errorf("F1 = %v, want 0.5", e.F1)
+	}
+}
+
+func TestEvaluateNoRepairs(t *testing.T) {
+	dirty, _, truth := triple()
+	e := Evaluate(dirty, dirty.Clone(), truth)
+	if e.Precision != 0 || e.Recall != 0 || e.F1 != 0 || e.Repairs != 0 {
+		t.Errorf("no-repair eval = %+v", e)
+	}
+}
+
+func TestEvaluatePerfect(t *testing.T) {
+	dirty, _, truth := triple()
+	e := Evaluate(dirty, truth, truth)
+	if e.Precision != 1 || e.Recall != 1 || e.F1 != 1 {
+		t.Errorf("perfect repair eval = %+v", e)
+	}
+}
+
+func TestEvaluateCleanInput(t *testing.T) {
+	_, _, truth := triple()
+	e := Evaluate(truth, truth.Clone(), truth)
+	if e.Errors != 0 || e.Recall != 0 {
+		t.Errorf("clean input eval = %+v", e)
+	}
+}
+
+func TestCalibration(t *testing.T) {
+	repairs := []ProbedRepair{
+		{0.55, false}, {0.55, false}, {0.58, true},
+		{0.85, true}, {0.87, true}, {0.82, false},
+		{0.95, true}, {1.0, true},
+	}
+	buckets := Calibration(repairs)
+	if len(buckets) != 5 {
+		t.Fatalf("buckets = %d, want 5", len(buckets))
+	}
+	if buckets[0].Count != 3 || math.Abs(buckets[0].ErrorRate-2.0/3) > 1e-12 {
+		t.Errorf("bucket[0.5,0.6) = %+v", buckets[0])
+	}
+	if buckets[3].Count != 3 || math.Abs(buckets[3].ErrorRate-1.0/3) > 1e-12 {
+		t.Errorf("bucket[0.8,0.9) = %+v", buckets[3])
+	}
+	// p = 1.0 lands in the final (closed) bucket.
+	if buckets[4].Count != 2 || buckets[4].ErrorRate != 0 {
+		t.Errorf("bucket[0.9,1.0] = %+v", buckets[4])
+	}
+	// Below-0.5 repairs are outside all buckets.
+	b2 := Calibration([]ProbedRepair{{0.3, true}})
+	total := 0
+	for _, b := range b2 {
+		total += b.Count
+	}
+	if total != 0 {
+		t.Errorf("sub-0.5 repairs should not be bucketed")
+	}
+}
+
+func TestEvalString(t *testing.T) {
+	e := Eval{Precision: 0.5, Recall: 0.25, F1: 1.0 / 3}
+	if s := e.String(); len(s) == 0 {
+		t.Errorf("String should render")
+	}
+}

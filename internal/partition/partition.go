@@ -1,0 +1,111 @@
+// Package partition implements HoloClean's tuple-partitioning optimization
+// (Section 5.1.2, Algorithm 3). Grounding denial-constraint factors over
+// all tuple pairs is quadratic in |D|; Algorithm 3 instead groups tuples
+// by the connected components of the per-constraint conflict subgraph H_σ
+// and grounds factors only within groups, bounding the factor count by
+// O(Σ_g |g|²) instead of O(|Σ|·|D|²).
+package partition
+
+import (
+	"sort"
+
+	"holoclean/internal/violation"
+)
+
+// Group is one tuple group: the tuples of one connected component of H_σ.
+type Group struct {
+	Constraint int
+	Tuples     []int // ascending
+}
+
+// PairCount returns |g|·(|g|−1)/2, the number of unordered tuple pairs the
+// grounder will consider for this group.
+func (g Group) PairCount() int {
+	n := len(g.Tuples)
+	return n * (n - 1) / 2
+}
+
+// unionFind is a disjoint-set structure over arbitrary int keys.
+type unionFind struct {
+	parent map[int]int
+	rank   map[int]int
+}
+
+func newUnionFind() *unionFind {
+	return &unionFind{parent: make(map[int]int), rank: make(map[int]int)}
+}
+
+func (u *unionFind) find(x int) int {
+	p, ok := u.parent[x]
+	if !ok {
+		u.parent[x] = x
+		return x
+	}
+	if p == x {
+		return x
+	}
+	root := u.find(p)
+	u.parent[x] = root
+	return root
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+}
+
+// Groups runs Algorithm 3: for each constraint σ it takes the subgraph of
+// the conflict hypergraph containing only σ's violations and emits one
+// group per connected component (components join tuples that co-appear in
+// a violation). The result is deterministic: groups are sorted by
+// constraint, then by smallest member tuple.
+func Groups(h *violation.Hypergraph) []Group {
+	var out []Group
+	for ci := 0; ci < h.NumConstraints(); ci++ {
+		uf := newUnionFind()
+		members := make(map[int]struct{})
+		for _, ei := range h.EdgesOfConstraint(ci) {
+			v := h.Violations[ei]
+			members[v.T1] = struct{}{}
+			if v.T2 >= 0 {
+				members[v.T2] = struct{}{}
+				uf.union(v.T1, v.T2)
+			}
+		}
+		comps := make(map[int][]int)
+		for t := range members {
+			root := uf.find(t)
+			comps[root] = append(comps[root], t)
+		}
+		for _, tuples := range comps {
+			sort.Ints(tuples)
+			out = append(out, Group{Constraint: ci, Tuples: tuples})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Constraint != out[j].Constraint {
+			return out[i].Constraint < out[j].Constraint
+		}
+		return out[i].Tuples[0] < out[j].Tuples[0]
+	})
+	return out
+}
+
+// TotalPairs sums PairCount over groups: the Σ_g |g|² bound of the paper
+// (up to the constant), compared against |Σ|·|D|² without partitioning.
+func TotalPairs(groups []Group) int {
+	n := 0
+	for _, g := range groups {
+		n += g.PairCount()
+	}
+	return n
+}

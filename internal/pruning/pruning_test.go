@@ -1,0 +1,207 @@
+package pruning
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"holoclean/internal/dataset"
+	"holoclean/internal/stats"
+)
+
+func sample() (*dataset.Dataset, []dataset.Cell) {
+	ds := dataset.New([]string{"Zip", "City", "State"})
+	ds.Append([]string{"60608", "Chicago", "IL"})
+	ds.Append([]string{"60608", "Chicago", "IL"})
+	ds.Append([]string{"60608", "Cicago", "IL"})
+	ds.Append([]string{"60609", "Chicago", "IL"})
+	ds.Append([]string{"60609", "Springfield", "IL"})
+	noisy := []dataset.Cell{
+		{Tuple: 2, Attr: 1}, // the Cicago cell
+		{Tuple: 3, Attr: 0}, // a zip cell
+	}
+	return ds, noisy
+}
+
+func TestComputeIncludesInitial(t *testing.T) {
+	ds, noisy := sample()
+	st := stats.Collect(ds)
+	d := Compute(ds, st, noisy, Config{Tau: 0.9})
+	for i, c := range d.Cells {
+		init := ds.Get(c.Tuple, c.Attr)
+		found := false
+		for _, v := range d.Candidates[i] {
+			if v == init {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("cell %v: initial value pruned away", c)
+		}
+	}
+}
+
+func TestComputeCandidates(t *testing.T) {
+	ds, noisy := sample()
+	st := stats.Collect(ds)
+	d := Compute(ds, st, noisy, Config{Tau: 0.5})
+	// The Cicago cell: siblings Zip=60608 (Pr[Chicago|60608]=2/3 ≥ .5)
+	// and State=IL (Pr[Chicago|IL]=3/5 ≥ .5) admit Chicago; init stays.
+	cands := d.Of(noisy[0])
+	if len(cands) != 2 {
+		t.Fatalf("Cicago cell candidates = %d, want 2", len(cands))
+	}
+	var have []string
+	for _, v := range cands {
+		have = append(have, ds.Dict().String(v))
+	}
+	want := map[string]bool{"Chicago": true, "Cicago": true}
+	for _, s := range have {
+		if !want[s] {
+			t.Errorf("unexpected candidate %q", s)
+		}
+	}
+}
+
+func TestMonotonicity(t *testing.T) {
+	// Property: raising τ can only shrink candidate sets, and every
+	// candidate set at τ_high is contained in the set at τ_low.
+	ds, noisy := sample()
+	st := stats.Collect(ds)
+	f := func(a, b uint8) bool {
+		lo := float64(a%90+5) / 100
+		hi := float64(b%90+5) / 100
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		dLo := Compute(ds, st, noisy, Config{Tau: lo})
+		dHi := Compute(ds, st, noisy, Config{Tau: hi})
+		for i := range dHi.Cells {
+			inLo := make(map[dataset.Value]bool)
+			for _, v := range dLo.Candidates[i] {
+				inLo[v] = true
+			}
+			for _, v := range dHi.Candidates[i] {
+				if !inLo[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFullDomain(t *testing.T) {
+	ds, noisy := sample()
+	st := stats.Collect(ds)
+	d := Compute(ds, st, noisy, Config{FullDomain: true})
+	city := ds.AttrIndex("City")
+	_ = city
+	cands := d.Of(noisy[0])
+	if len(cands) != len(ds.ActiveDomain(noisy[0].Attr)) {
+		t.Errorf("FullDomain candidates = %d, want the whole active domain %d",
+			len(cands), len(ds.ActiveDomain(noisy[0].Attr)))
+	}
+}
+
+func TestMaxCandidates(t *testing.T) {
+	ds, noisy := sample()
+	st := stats.Collect(ds)
+	d := Compute(ds, st, noisy, Config{FullDomain: true, MaxCandidates: 2})
+	for i, c := range d.Cells {
+		if len(d.Candidates[i]) > 2 {
+			t.Errorf("cell %v: %d candidates exceed cap", c, len(d.Candidates[i]))
+		}
+		init := ds.Get(c.Tuple, c.Attr)
+		found := false
+		for _, v := range d.Candidates[i] {
+			if v == init {
+				found = true
+			}
+		}
+		if init != dataset.Null && !found {
+			t.Errorf("cap evicted the initial value")
+		}
+	}
+}
+
+func TestInject(t *testing.T) {
+	ds, noisy := sample()
+	st := stats.Collect(ds)
+	d := Compute(ds, st, noisy, Config{Tau: 0.9})
+	extra := ds.Dict().Intern("99999")
+	before := len(d.Of(noisy[1]))
+	d.Inject(noisy[1], extra)
+	after := d.Of(noisy[1])
+	if len(after) != before+1 {
+		t.Fatalf("Inject did not grow the domain")
+	}
+	d.Inject(noisy[1], extra) // idempotent
+	if len(d.Of(noisy[1])) != before+1 {
+		t.Errorf("duplicate Inject grew the domain")
+	}
+	// Candidates stay sorted.
+	for i := 1; i < len(after); i++ {
+		if after[i-1] >= after[i] {
+			t.Errorf("candidates not sorted after Inject")
+		}
+	}
+	// Injecting into an unknown cell is a no-op.
+	d.Inject(dataset.Cell{Tuple: 99, Attr: 0}, extra)
+}
+
+func TestAccessors(t *testing.T) {
+	ds, noisy := sample()
+	st := stats.Collect(ds)
+	d := Compute(ds, st, noisy, Config{Tau: 0.5})
+	if d.Index(noisy[0]) != 0 || d.Index(dataset.Cell{Tuple: 9, Attr: 9}) != -1 {
+		t.Errorf("Index wrong")
+	}
+	if d.Of(dataset.Cell{Tuple: 9, Attr: 9}) != nil {
+		t.Errorf("Of unknown cell should be nil")
+	}
+	if d.TotalCandidates() <= 0 || d.MaxDomain() <= 0 {
+		t.Errorf("size accounting wrong")
+	}
+}
+
+func TestNullSiblingsSkipped(t *testing.T) {
+	ds := dataset.New([]string{"A", "B"})
+	ds.Append([]string{"x", ""})
+	ds.Append([]string{"y", ""})
+	st := stats.Collect(ds)
+	noisy := []dataset.Cell{{Tuple: 0, Attr: 0}}
+	d := Compute(ds, st, noisy, Config{Tau: 0.1})
+	// Only the initial value: the sole sibling is null.
+	if cands := d.Of(noisy[0]); len(cands) != 1 {
+		t.Errorf("candidates = %d, want 1 (init only)", len(cands))
+	}
+}
+
+func TestRandomizedContainsCooccurring(t *testing.T) {
+	// Every value co-occurring with a sibling above τ must be in the
+	// candidate set.
+	rng := rand.New(rand.NewSource(3))
+	ds := dataset.New([]string{"A", "B"})
+	vals := []string{"u", "v", "w"}
+	for i := 0; i < 60; i++ {
+		ds.Append([]string{vals[rng.Intn(3)], vals[rng.Intn(3)]})
+	}
+	st := stats.Collect(ds)
+	noisy := []dataset.Cell{{Tuple: 0, Attr: 0}}
+	tau := 0.3
+	d := Compute(ds, st, noisy, Config{Tau: tau})
+	vb := ds.Get(0, 1)
+	inSet := make(map[dataset.Value]bool)
+	for _, v := range d.Of(noisy[0]) {
+		inSet[v] = true
+	}
+	for _, v := range ds.ActiveDomain(0) {
+		if st.CondProb(0, v, 1, vb) >= tau && !inSet[v] {
+			t.Errorf("value %q co-occurs above τ but was pruned", ds.Dict().String(v))
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"holoclean/internal/dataset"
+)
+
+func benchDataset(n int) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(1))
+	ds := dataset.New([]string{"A", "B", "C", "D", "E", "F"})
+	row := make([]string, 6)
+	for i := 0; i < n; i++ {
+		for a := range row {
+			row[a] = fmt.Sprintf("v%d", rng.Intn(50))
+		}
+		ds.Append(row)
+	}
+	return ds
+}
+
+func BenchmarkCollect(b *testing.B) {
+	ds := benchDataset(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Collect(ds)
+	}
+}
+
+func BenchmarkCondProb(b *testing.B) {
+	ds := benchDataset(5000)
+	st := Collect(ds)
+	dom := ds.ActiveDomain(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.CondProb(0, dom[i%len(dom)], 1, dom[(i+1)%len(dom)])
+	}
+}

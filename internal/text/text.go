@@ -1,0 +1,93 @@
+// Package text provides the small string-similarity toolkit HoloClean's
+// approximate operators depend on: the ≈ predicate of denial constraints
+// (Section 3.1) and the fuzzy matching of matching dependencies against
+// external dictionaries (Section 4.2, Example 3).
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Levenshtein returns the edit distance between a and b (unit costs).
+// It runs in O(len(a)·len(b)) time and O(min) space.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) < len(rb) {
+		ra, rb = rb, ra
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	curr := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		curr[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			curr[j] = min3(prev[j]+1, curr[j-1]+1, prev[j-1]+cost)
+		}
+		prev, curr = curr, prev
+	}
+	return prev[len(rb)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// Similarity returns a normalized similarity in [0,1]:
+// 1 − Levenshtein(a,b)/max(len(a),len(b)). Two empty strings are fully
+// similar.
+func Similarity(a, b string) float64 {
+	la, lb := len([]rune(a)), len([]rune(b))
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	maxLen := la
+	if lb > maxLen {
+		maxLen = lb
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(maxLen)
+}
+
+// DefaultSimilarityThreshold is the similarity at or above which the ≈
+// operator considers two values equal-ish.
+const DefaultSimilarityThreshold = 0.8
+
+// Similar reports whether a ≈ b under the default threshold, after case
+// folding and whitespace normalization.
+func Similar(a, b string) bool {
+	return Similarity(Normalize(a), Normalize(b)) >= DefaultSimilarityThreshold
+}
+
+// Normalize lowercases s and collapses runs of whitespace to single spaces.
+func Normalize(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	space := false
+	for _, r := range strings.TrimSpace(s) {
+		if unicode.IsSpace(r) {
+			space = true
+			continue
+		}
+		if space {
+			b.WriteByte(' ')
+			space = false
+		}
+		b.WriteRune(unicode.ToLower(r))
+	}
+	return b.String()
+}

@@ -1,0 +1,98 @@
+package text
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"Chicago", "Cicago", 1},
+		{"Sacramento", "Scaramento", 2},
+		{"a", "b", 1},
+		{"ab", "ba", 2},
+		{"日本語", "日本", 1},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinProperties(t *testing.T) {
+	// Symmetry: d(a,b) == d(b,a).
+	sym := func(a, b string) bool { return Levenshtein(a, b) == Levenshtein(b, a) }
+	if err := quick.Check(sym, nil); err != nil {
+		t.Error(err)
+	}
+	// Identity: d(a,a) == 0.
+	id := func(a string) bool { return Levenshtein(a, a) == 0 }
+	if err := quick.Check(id, nil); err != nil {
+		t.Error(err)
+	}
+	// Triangle inequality: d(a,c) ≤ d(a,b) + d(b,c).
+	tri := func(a, b, c string) bool {
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(tri, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	if s := Similarity("", ""); s != 1 {
+		t.Errorf("Similarity of empty strings = %v, want 1", s)
+	}
+	if s := Similarity("abc", "abc"); s != 1 {
+		t.Errorf("Similarity of equal strings = %v, want 1", s)
+	}
+	if s := Similarity("abc", "xyz"); s != 0 {
+		t.Errorf("Similarity of disjoint strings = %v, want 0", s)
+	}
+	if s := Similarity("Chicago", "Cicago"); s < 0.8 {
+		t.Errorf("Similarity(Chicago, Cicago) = %v, want >= 0.8", s)
+	}
+}
+
+func TestSimilar(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"Chicago", "Cicago", true},
+		{"Chicago", "chicago", true},
+		{"Chicago", "  Chicago ", true},
+		{"Chicago", "New York", false},
+		{"IL", "IL", true},
+		{"IL", "CA", false},
+	}
+	for _, c := range cases {
+		if got := Similar(c.a, c.b); got != c.want {
+			t.Errorf("Similar(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"  Hello   World  ", "hello world"},
+		{"ABC", "abc"},
+		{"", ""},
+		{"a\tb\nc", "a b c"},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

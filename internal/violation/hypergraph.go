@@ -1,0 +1,66 @@
+package violation
+
+import (
+	"holoclean/internal/dataset"
+)
+
+// Hypergraph is the conflict hypergraph: nodes are cells that participate
+// in detected violations, hyperedges link the cells of one violation and
+// are annotated with the violated constraint (Section 5.1.2).
+type Hypergraph struct {
+	Violations []Violation
+	EdgeCells  [][]dataset.Cell // EdgeCells[i] = cells of Violations[i]
+
+	cellEdges    map[dataset.Cell][]int
+	byConstraint [][]int // constraint index → edge indices
+}
+
+// BuildHypergraph materializes the conflict hypergraph from the detector's
+// violations.
+func BuildHypergraph(d *Detector, violations []Violation) *Hypergraph {
+	h := &Hypergraph{
+		Violations:   violations,
+		EdgeCells:    make([][]dataset.Cell, len(violations)),
+		cellEdges:    make(map[dataset.Cell][]int),
+		byConstraint: make([][]int, len(d.bounds)),
+	}
+	for i, v := range violations {
+		cells := d.Cells(v)
+		h.EdgeCells[i] = cells
+		for _, c := range cells {
+			h.cellEdges[c] = append(h.cellEdges[c], i)
+		}
+		h.byConstraint[v.Constraint] = append(h.byConstraint[v.Constraint], i)
+	}
+	return h
+}
+
+// NumEdges returns the number of hyperedges (violations).
+func (h *Hypergraph) NumEdges() int { return len(h.Violations) }
+
+// Cells returns all distinct cells participating in any violation.
+func (h *Hypergraph) Cells() []dataset.Cell {
+	out := make([]dataset.Cell, 0, len(h.cellEdges))
+	for c := range h.cellEdges {
+		out = append(out, c)
+	}
+	return out
+}
+
+// EdgesOf returns the indices of hyperedges containing cell c.
+func (h *Hypergraph) EdgesOf(c dataset.Cell) []int { return h.cellEdges[c] }
+
+// Degree returns the number of violations cell c participates in.
+func (h *Hypergraph) Degree(c dataset.Cell) int { return len(h.cellEdges[c]) }
+
+// EdgesOfConstraint returns the hyperedge indices for violations of
+// constraint ci, the induced subgraph H_σ of Algorithm 3.
+func (h *Hypergraph) EdgesOfConstraint(ci int) []int {
+	if ci < 0 || ci >= len(h.byConstraint) {
+		return nil
+	}
+	return h.byConstraint[ci]
+}
+
+// NumConstraints returns how many constraints the hypergraph was built over.
+func (h *Hypergraph) NumConstraints() int { return len(h.byConstraint) }

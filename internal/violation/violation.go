@@ -1,0 +1,228 @@
+// Package violation detects denial-constraint violations and materializes
+// the conflict hypergraph of Kolahi & Lakshmanan [26] that HoloClean's
+// error detection (Section 2.2), tuple partitioning (Section 5.1.2,
+// Algorithm 3), and the Holistic baseline [12] all consume.
+//
+// Detection avoids the O(|D|²) pair scan whenever a constraint contains an
+// equality predicate across its two tuple variables: tuples are hash
+// partitioned on the join attribute and only within-bucket pairs are
+// evaluated. Constraints without an equality join fall back to an exact
+// parallel pair scan.
+package violation
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"holoclean/internal/dataset"
+	"holoclean/internal/dc"
+)
+
+// Violation is one grounded constraint violation. For single-tuple
+// constraints T2 is -1. For pairwise constraints the pair is canonical:
+// when both orientations of a pair violate σ, only (min,max) is reported.
+type Violation struct {
+	Constraint int // index into the detector's constraint list
+	T1, T2     int
+}
+
+// Pairwise reports whether the violation involves two tuples.
+func (v Violation) Pairwise() bool { return v.T2 >= 0 }
+
+// Detector runs violation detection for a fixed dataset and constraint set.
+type Detector struct {
+	ds     *dataset.Dataset
+	bounds []*dc.Bound
+}
+
+// NewDetector binds the constraints against the dataset.
+func NewDetector(ds *dataset.Dataset, constraints []*dc.Constraint) (*Detector, error) {
+	bounds, err := dc.BindAll(constraints, ds)
+	if err != nil {
+		return nil, err
+	}
+	return &Detector{ds: ds, bounds: bounds}, nil
+}
+
+// Bounds exposes the bound constraints, indexed as in Violation.Constraint.
+func (d *Detector) Bounds() []*dc.Bound { return d.bounds }
+
+// Detect finds all violations of all constraints.
+func (d *Detector) Detect() []Violation {
+	var out []Violation
+	for ci, b := range d.bounds {
+		out = append(out, d.detectOne(ci, b)...)
+	}
+	return out
+}
+
+func (d *Detector) detectOne(ci int, b *dc.Bound) []Violation {
+	if b.TupleVars == 1 {
+		var out []Violation
+		for t := 0; t < d.ds.NumTuples(); t++ {
+			if b.Violates(t, -1) {
+				out = append(out, Violation{Constraint: ci, T1: t, T2: -1})
+			}
+		}
+		return out
+	}
+	if joins := b.EqualityJoinAttrs(); len(joins) > 0 {
+		return d.detectHashed(ci, b, joins[0])
+	}
+	return d.detectPairScan(ci, b)
+}
+
+// detectHashed partitions tuples by the join attribute value and evaluates
+// candidate pairs within buckets only.
+func (d *Detector) detectHashed(ci int, b *dc.Bound, join [2]int) []Violation {
+	leftAttr, rightAttr := join[0], join[1]
+	buckets := make(map[dataset.Value][]int)
+	for t := 0; t < d.ds.NumTuples(); t++ {
+		v := d.ds.Get(t, rightAttr)
+		if v == dataset.Null {
+			continue
+		}
+		buckets[v] = append(buckets[v], t)
+	}
+	n := d.ds.NumTuples()
+	workers := runtime.GOMAXPROCS(0)
+	results := make([][]Violation, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var local []Violation
+			for t1 := w; t1 < n; t1 += workers {
+				v := d.ds.Get(t1, leftAttr)
+				if v == dataset.Null {
+					continue
+				}
+				for _, t2 := range buckets[v] {
+					if t1 == t2 || !b.Violates(t1, t2) {
+						continue
+					}
+					if t1 > t2 && b.Violates(t2, t1) {
+						continue // canonical orientation already reported
+					}
+					local = append(local, Violation{Constraint: ci, T1: t1, T2: t2})
+				}
+			}
+			results[w] = local
+		}(w)
+	}
+	wg.Wait()
+	return mergeSorted(results)
+}
+
+// detectPairScan is the exact O(n²) fallback for constraints with no
+// equality join predicate, parallelized over the outer tuple.
+func (d *Detector) detectPairScan(ci int, b *dc.Bound) []Violation {
+	n := d.ds.NumTuples()
+	workers := runtime.GOMAXPROCS(0)
+	results := make([][]Violation, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var local []Violation
+			for t1 := w; t1 < n; t1 += workers {
+				for t2 := 0; t2 < n; t2++ {
+					if t1 == t2 || !b.Violates(t1, t2) {
+						continue
+					}
+					if t1 > t2 && b.Violates(t2, t1) {
+						continue
+					}
+					local = append(local, Violation{Constraint: ci, T1: t1, T2: t2})
+				}
+			}
+			results[w] = local
+		}(w)
+	}
+	wg.Wait()
+	return mergeSorted(results)
+}
+
+func mergeSorted(parts [][]Violation) []Violation {
+	var out []Violation
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].T1 != out[j].T1 {
+			return out[i].T1 < out[j].T1
+		}
+		return out[i].T2 < out[j].T2
+	})
+	return out
+}
+
+// NaiveDetect enumerates every ordered tuple pair for every constraint.
+// It exists as the correctness oracle for property tests; Detect must
+// produce the same violation set.
+func NaiveDetect(ds *dataset.Dataset, constraints []*dc.Constraint) ([]Violation, error) {
+	bounds, err := dc.BindAll(constraints, ds)
+	if err != nil {
+		return nil, err
+	}
+	var out []Violation
+	for ci, b := range bounds {
+		if b.TupleVars == 1 {
+			for t := 0; t < ds.NumTuples(); t++ {
+				if b.Violates(t, -1) {
+					out = append(out, Violation{Constraint: ci, T1: t, T2: -1})
+				}
+			}
+			continue
+		}
+		for t1 := 0; t1 < ds.NumTuples(); t1++ {
+			for t2 := 0; t2 < ds.NumTuples(); t2++ {
+				if t1 == t2 || !b.Violates(t1, t2) {
+					continue
+				}
+				if t1 > t2 && b.Violates(t2, t1) {
+					continue
+				}
+				out = append(out, Violation{Constraint: ci, T1: t1, T2: t2})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Cells returns the cells participating in the violation: every
+// tuple-attribute reference of the constraint's predicates instantiated
+// with the violating tuples, deduplicated.
+func (d *Detector) Cells(v Violation) []dataset.Cell {
+	b := d.bounds[v.Constraint]
+	seen := make(map[dataset.Cell]struct{}, 4)
+	var out []dataset.Cell
+	add := func(c dataset.Cell) {
+		if _, ok := seen[c]; !ok {
+			seen[c] = struct{}{}
+			out = append(out, c)
+		}
+	}
+	for _, p := range b.Preds {
+		lt := v.T1
+		if p.LeftTuple == 1 {
+			lt = v.T2
+		}
+		if lt >= 0 {
+			add(dataset.Cell{Tuple: lt, Attr: p.LeftAttr})
+		}
+		if !p.RightIsConst {
+			rt := v.T1
+			if p.RightTuple == 1 {
+				rt = v.T2
+			}
+			if rt >= 0 {
+				add(dataset.Cell{Tuple: rt, Attr: p.RightAttr})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package violation
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"holoclean/internal/dataset"
+	"holoclean/internal/dc"
+)
+
+func benchData(n int) (*dataset.Dataset, []*dc.Constraint) {
+	rng := rand.New(rand.NewSource(1))
+	ds := dataset.New([]string{"Key", "Val", "Other"})
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("k%03d", rng.Intn(n/10+1))
+		val := fmt.Sprintf("v%d", rng.Intn(8))
+		ds.Append([]string{key, val, fmt.Sprintf("o%d", i%13)})
+	}
+	return ds, dc.FD("fd", []string{"Key"}, []string{"Val"})
+}
+
+// BenchmarkDetectHashed measures the equality-join detection path that
+// avoids the O(n²) pair scan.
+func BenchmarkDetectHashed(b *testing.B) {
+	ds, cs := benchData(5000)
+	det, err := NewDetector(ds, cs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Detect()
+	}
+}
+
+// BenchmarkDetectNaive is the quadratic oracle for comparison.
+func BenchmarkDetectNaive(b *testing.B) {
+	ds, cs := benchData(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NaiveDetect(ds, cs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildHypergraph(b *testing.B) {
+	ds, cs := benchData(5000)
+	det, _ := NewDetector(ds, cs)
+	viols := det.Detect()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildHypergraph(det, viols)
+	}
+}

@@ -1,0 +1,20 @@
+package holoclean
+
+import (
+	"testing"
+
+	"holoclean/internal/violation"
+)
+
+// violationsCounter counts denial-constraint violations on a dataset,
+// shared by pipeline-invariant tests.
+type violationsCounter struct{}
+
+func (violationsCounter) count(t *testing.T, ds *Dataset, cs []*Constraint) int {
+	t.Helper()
+	det, err := violation.NewDetector(ds, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(det.Detect())
+}
