@@ -8,11 +8,14 @@
 package holoclean_test
 
 import (
+	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
 
+	"holoclean"
 	"holoclean/internal/datagen"
 	"holoclean/internal/harness"
 )
@@ -158,5 +161,29 @@ func BenchmarkAblation_Partitioning(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rows := harness.AblationPartitioning(g)
 		once("ablation-partitioning", func() { harness.PrintPartitioning(os.Stdout, rows) })
+	}
+}
+
+// BenchmarkCleanSharded measures the end-to-end sharded pipeline at
+// Workers=1 (sequential shards) versus Workers=GOMAXPROCS (pooled), on
+// the hospital workload whose violations split into many independent
+// conflict components. The workers=N/workers=1 wall-clock ratio is the
+// sharding speedup; on a single-CPU host the two configurations coincide.
+func BenchmarkCleanSharded(b *testing.B) {
+	g := datagen.Hospital(datagen.Config{Tuples: 1000, Seed: 1})
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := harness.HoloCleanOptions(g.Name)
+			opts.Workers = workers
+			var shards int
+			for i := 0; i < b.N; i++ {
+				res, err := holoclean.New(opts).Clean(g.Dirty, g.Constraints)
+				if err != nil {
+					b.Fatal(err)
+				}
+				shards = res.Stats.Shards
+			}
+			b.ReportMetric(float64(shards), "shards")
+		})
 	}
 }

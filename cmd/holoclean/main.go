@@ -35,6 +35,7 @@ func main() {
 		tau       = flag.Float64("tau", 0.5, "domain pruning threshold (Algorithm 2)")
 		variant   = flag.String("variant", "feats", "model variant: feats, factors, factors+part, feats+factors, feats+factors+part")
 		outliers  = flag.Bool("outliers", false, "add outlier-based error detection")
+		workers   = flag.Int("workers", 0, "shard worker pool size (0 = all CPUs); results are identical for any value")
 		seed      = flag.Int64("seed", 1, "random seed")
 		verbose   = flag.Bool("v", false, "print repairs and marginals")
 	)
@@ -73,6 +74,7 @@ func main() {
 	opts.Tau = *tau
 	opts.Seed = *seed
 	opts.OutlierDetection = *outliers
+	opts.Workers = *workers
 	switch *variant {
 	case "feats":
 		opts.Variant = holoclean.VariantDCFeats
@@ -103,9 +105,9 @@ func main() {
 	}
 
 	fmt.Fprintf(os.Stderr,
-		"holoclean: %d noisy cells, %d variables, %d factors; %d repairs in %v\n",
+		"holoclean: %d noisy cells, %d variables, %d factors, %d shards; %d repairs in %v\n",
 		res.Stats.NoisyCells, res.Stats.Variables, res.Stats.Factors,
-		len(res.Repairs), res.Stats.TotalTime.Round(1e6))
+		res.Stats.Shards, len(res.Repairs), res.Stats.TotalTime.Round(1e6))
 	if *verbose {
 		for _, r := range res.Repairs {
 			fmt.Fprintf(os.Stderr, "  row %d %s: %q -> %q (p=%.2f)\n",

@@ -80,3 +80,39 @@ func ExampleCleaner_CleanWithFeedback() {
 	// Output:
 	// a
 }
+
+// ExampleCleaner_Clean_sharded cleans a dataset whose violations form
+// several independent conflict components. Clean shards the pipeline over
+// those components and runs them on Options.Workers goroutines; the
+// output is deterministic for a fixed Seed no matter how many workers
+// run.
+func ExampleCleaner_Clean_sharded() {
+	ds := holoclean.NewDataset([]string{"Store", "Zip", "City"})
+	// Three independent duplicate groups, each with one corrupted cell.
+	for i := 0; i < 4; i++ {
+		ds.Append([]string{"north", "60608", "Chicago"})
+		ds.Append([]string{"south", "61801", "Urbana"})
+		ds.Append([]string{"west", "53703", "Madison"})
+	}
+	ds.Append([]string{"north", "60609", "Chicago"}) // wrong zip
+	ds.Append([]string{"south", "61801", "Urbanna"}) // wrong city
+	ds.Append([]string{"west", "53709", "Madison"})  // wrong zip
+
+	var constraints []*holoclean.Constraint
+	constraints = append(constraints, holoclean.FD("store-zip", []string{"Store"}, []string{"Zip"})...)
+	constraints = append(constraints, holoclean.FD("zip-city", []string{"Zip"}, []string{"City"})...)
+
+	opts := holoclean.DefaultOptions()
+	opts.Workers = 4 // shard the pipeline over a pool of four workers
+	res, err := holoclean.New(opts).Clean(ds, constraints)
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range res.Repairs {
+		fmt.Printf("row %d %s: %s -> %s\n", r.Tuple, r.Attr, r.Old, r.New)
+	}
+	// Output:
+	// row 12 Zip: 60609 -> 60608
+	// row 13 City: Urbanna -> Urbana
+	// row 14 Zip: 53709 -> 53703
+}

@@ -1,0 +1,3 @@
+module holoclean
+
+go 1.24

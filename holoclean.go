@@ -37,10 +37,10 @@ import (
 	"holoclean/internal/compile"
 	"holoclean/internal/dataset"
 	"holoclean/internal/dc"
+	"holoclean/internal/ddlog"
 	"holoclean/internal/discovery"
 	"holoclean/internal/errordetect"
 	"holoclean/internal/extdict"
-	"holoclean/internal/gibbs"
 	"holoclean/internal/learn"
 )
 
@@ -184,6 +184,13 @@ type Options struct {
 	// MaxScanCounterparts caps DC grounding when no equality predicate
 	// can index the join (0 = unlimited).
 	MaxScanCounterparts int
+	// Workers bounds the worker pool of the sharded pipeline: Clean
+	// splits the noisy cells into independent shards (connected
+	// components of the conflict hypergraph when correlation factors are
+	// grounded, load-balanced batches otherwise) and grounds and infers
+	// each shard on Workers goroutines. 0 means runtime.GOMAXPROCS(0).
+	// Results are deterministic for a given Seed regardless of Workers.
+	Workers int
 	// Seed drives every stochastic component.
 	Seed int64
 }
@@ -227,6 +234,12 @@ type Repair struct {
 }
 
 // RunStats aggregates sizes and timings of one cleaning run.
+//
+// Factor and variable counts describe the union of the per-shard models
+// plus the shared learning graph, which for independent-variable models
+// coincides with the monolithic grounding. CompileTime and InferTime sum
+// per-shard grounding and inference durations, so with Workers > 1 they
+// are CPU-style totals that can exceed the wall-clock TotalTime.
 type RunStats struct {
 	NoisyCells   int
 	Variables    int
@@ -235,6 +248,12 @@ type RunStats struct {
 	Factors      int
 	PaperFactors int64
 	Weights      int
+
+	// Shards is the number of independent shards the pipeline executed;
+	// SingletonShards of them held a single uncorrelated variable and
+	// took the closed-form inference fast path.
+	Shards          int
+	SingletonShards int
 
 	DetectTime  time.Duration
 	CompileTime time.Duration
@@ -274,6 +293,16 @@ func New(opts Options) *Cleaner { return &Cleaner{opts: opts} }
 
 // Clean repairs the dataset under the given denial constraints. The input
 // dataset is not modified.
+//
+// Clean runs as a sharded pipeline: after one pass of error detection,
+// statistics, and domain pruning, the noisy cells are split into
+// independent shards — connected components of the conflict hypergraph
+// when the model grounds correlation factors, load-balanced batches in
+// the default independent-variable regime — and each shard is grounded
+// and inferred on a pool of Options.Workers goroutines. Weights are
+// learned once on the union of all shards' evidence cells and shared by
+// every shard, so shard boundaries never change what is learned. Given a
+// fixed Seed the result is deterministic regardless of Workers.
 func (cl *Cleaner) Clean(ds *Dataset, constraints []*Constraint) (*Result, error) {
 	if len(constraints) == 0 && len(cl.opts.MatchDependencies) == 0 {
 		return nil, fmt.Errorf("holoclean: no repair signals (need constraints or match dependencies)")
@@ -296,7 +325,7 @@ func (cl *Cleaner) Clean(ds *Dataset, constraints []*Constraint) (*Result, error
 		detectors = append(detectors, &errordetect.Dictionary{Matcher: matcher})
 	}
 
-	comp, err := compile.Compile(ds, constraints, compile.Options{
+	prep, err := compile.Prepare(ds, constraints, compile.Options{
 		Tau:                    o.Tau,
 		MaxCandidates:          o.MaxCandidates,
 		FullDomain:             o.FullDomain,
@@ -320,18 +349,29 @@ func (cl *Cleaner) Clean(ds *Dataset, constraints []*Constraint) (*Result, error
 	}
 
 	res := &Result{Marginals: make(map[Cell][]ValueProb)}
-	res.Stats.NoisyCells = comp.Detection.NumNoisy()
-	res.Stats.Variables = comp.Grounded.Stats.Variables
-	res.Stats.QueryVars = comp.Grounded.Stats.QueryVars
-	res.Stats.EvidenceVars = comp.Grounded.Stats.EvidenceVars
-	res.Stats.Factors = comp.Grounded.Graph.NumFactors()
-	res.Stats.PaperFactors = comp.Grounded.Stats.PaperFactors
-	res.Stats.Weights = comp.Grounded.Graph.Weights.Len()
-	res.Stats.DetectTime = comp.Timings.Detect
-	res.Stats.CompileTime = comp.Timings.Compile
+	res.Stats.NoisyCells = prep.Detection.NumNoisy()
+	res.Stats.DetectTime = prep.Timings.Detect
 
-	// --- Learning (Section 2.2: ERM over the likelihood via SGD) ---
-	g := comp.Grounded.Graph
+	workers := defaultWorkers(o.Workers)
+	plan := planShards(prep, o.Variant.DCFactors)
+	res.Stats.Shards = len(plan)
+
+	shared := ddlog.NewSharedIndex(prep.DS, prep.Domains)
+
+	// --- Learning (Section 2.2: ERM over the likelihood via SGD), on the
+	// union of all shards' evidence cells so weights stay globally tied ---
+	tg := time.Now()
+	learnG, err := groundLearning(prep, shared, o.MaxScanCounterparts)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.CompileTime = prep.Timings.Compile + time.Since(tg)
+	res.Stats.Variables = learnG.Stats.Variables
+	res.Stats.QueryVars = learnG.Stats.QueryVars
+	res.Stats.EvidenceVars = learnG.Stats.EvidenceVars
+	res.Stats.Factors = learnG.Graph.NumFactors()
+	res.Stats.PaperFactors = learnG.Stats.PaperFactors
+
 	tLearn := time.Now()
 	epochs := o.LearningEpochs
 	if epochs <= 0 {
@@ -341,56 +381,22 @@ func (cl *Cleaner) Clean(ds *Dataset, constraints []*Constraint) (*Result, error
 	if lr == 0 {
 		lr = 0.1
 	}
-	learn.Learn(g, learn.Config{Epochs: epochs, LearningRate: lr, L2: o.L2, Seed: o.Seed})
+	learn.Learn(learnG.Graph, learn.Config{Epochs: epochs, LearningRate: lr, L2: o.L2, Seed: o.Seed})
 	res.Stats.LearnTime = time.Since(tLearn)
 
-	// --- Inference (Gibbs sampling, or exact for independent models) ---
-	tInfer := time.Now()
-	var marg *marginals
-	if o.ExactInference && !g.HasNaryOnQuery() {
-		marg = &marginals{m: gibbs.Exact(g)}
-	} else {
-		burn, samp := o.GibbsBurnIn, o.GibbsSamples
-		if samp <= 0 {
-			samp = 50
-		}
-		if burn <= 0 {
-			burn = 10
-		}
-		marg = &marginals{m: gibbs.Run(g, gibbs.Config{BurnIn: burn, Samples: samp, Seed: o.Seed, Parallel: o.ParallelInference})}
-	}
-	res.Stats.InferTime = time.Since(tInfer)
-
-	// --- Repair extraction (MAP per query variable) ---
+	// --- Per-shard grounding and inference on the worker pool ---
 	repaired := ds.Clone()
-	dict := ds.Dict()
-	for vi, c := range comp.Grounded.Cells {
-		v := int32(vi)
-		if g.Vars[v].Evidence {
-			continue
-		}
-		dom := g.Vars[v].Domain
-		dist := make([]ValueProb, len(dom))
-		for d, label := range dom {
-			dist[d] = ValueProb{Value: dict.String(dataset.Value(label)), P: marg.m.Prob(v, d)}
-		}
-		sort.Slice(dist, func(i, j int) bool { return dist[i].P > dist[j].P })
-		res.Marginals[c] = dist
-
-		mapIdx, p := marg.m.MAP(v)
-		newLabel := dataset.Value(dom[mapIdx])
-		if newLabel != ds.Get(c.Tuple, c.Attr) {
-			repaired.Set(c.Tuple, c.Attr, newLabel)
-			res.Repairs = append(res.Repairs, Repair{
-				Cell:        c,
-				Attr:        ds.AttrName(c.Attr),
-				Tuple:       c.Tuple,
-				Old:         ds.GetString(c.Tuple, c.Attr),
-				New:         dict.String(newLabel),
-				Probability: p,
-			})
-		}
+	runner := newShardRunner(prep, o, shared, learnedWeights(learnG.Graph), res, repaired)
+	for _, k := range learnG.Graph.Weights.Keys {
+		runner.weightKeys[k] = true
 	}
+	if err := runner.runAll(plan, workers); err != nil {
+		return nil, err
+	}
+	res.Stats.CompileTime += runner.groundTime
+	res.Stats.InferTime = runner.inferTime
+	res.Stats.Weights = len(runner.weightKeys)
+
 	sort.Slice(res.Repairs, func(i, j int) bool {
 		if res.Repairs[i].Tuple != res.Repairs[j].Tuple {
 			return res.Repairs[i].Tuple < res.Repairs[j].Tuple
@@ -400,12 +406,4 @@ func (cl *Cleaner) Clean(ds *Dataset, constraints []*Constraint) (*Result, error
 	res.Repaired = repaired
 	res.Stats.TotalTime = time.Since(start)
 	return res, nil
-}
-
-// marginals adapts factor.Marginals without exposing the internal type.
-type marginals struct {
-	m interface {
-		Prob(v int32, d int) float64
-		MAP(v int32) (int, float64)
-	}
 }

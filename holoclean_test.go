@@ -1,6 +1,7 @@
 package holoclean
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -222,5 +223,115 @@ func TestMarginalOf(t *testing.T) {
 	}
 	if m := res.MarginalOf(Cell{Tuple: 99, Attr: 0}); m != nil {
 		t.Errorf("unknown cell should have nil marginal")
+	}
+}
+
+// TestCleanWorkersEquivalent pins the sharded pipeline's determinism
+// contract: for a fixed seed, every worker-pool size — including the
+// sequential Workers=1 configuration — produces the same repairs and the
+// same marginal probabilities.
+func TestCleanWorkersEquivalent(t *testing.T) {
+	run := func(workers int, variant Variant) *Result {
+		ds, cs := smallDirty()
+		opts := DefaultOptions()
+		opts.Workers = workers
+		opts.Variant = variant
+		res, err := New(opts).Clean(ds, cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for _, v := range []Variant{VariantDCFeats, VariantDCFactors, VariantDCFeatsFactors} {
+		base := run(1, v)
+		for _, w := range []int{2, 4, 16} {
+			got := run(w, v)
+			if !base.Repaired.Equal(got.Repaired) {
+				t.Errorf("%s: Workers=%d repairs differ from Workers=1", v.Name(), w)
+			}
+			if len(base.Marginals) != len(got.Marginals) {
+				t.Fatalf("%s: Workers=%d marginal count differs", v.Name(), w)
+			}
+			for c, dist := range base.Marginals {
+				other := got.Marginals[c]
+				if len(other) != len(dist) {
+					t.Fatalf("%s: marginal of %v has different support", v.Name(), c)
+				}
+				for i := range dist {
+					if dist[i] != other[i] {
+						t.Errorf("%s: marginal of %v differs at %d: %v vs %v",
+							v.Name(), c, i, dist[i], other[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCleanWorkersEquivalentMultiShard repeats the determinism check on
+// a dataset large enough to split into many shards (hundreds of noisy
+// cells across independent conflict groups), with both the per-variable
+// parallel sampler and the sequential sweep sampler.
+func TestCleanWorkersEquivalentMultiShard(t *testing.T) {
+	build := func() (*Dataset, []*Constraint) {
+		ds := NewDataset([]string{"Key", "Val", "Tag"})
+		for g := 0; g < 120; g++ {
+			k := fmt.Sprintf("k%03d", g)
+			good := fmt.Sprintf("v%03d", g)
+			for i := 0; i < 4; i++ {
+				ds.Append([]string{k, good, "t"})
+			}
+			ds.Append([]string{k, fmt.Sprintf("bad%03d", g), "t"})
+		}
+		return ds, FD("fd", []string{"Key"}, []string{"Val"})
+	}
+	for _, parallel := range []bool{true, false} {
+		var base *Result
+		for _, w := range []int{1, 7} {
+			ds, cs := build()
+			opts := DefaultOptions()
+			opts.Workers = w
+			opts.ParallelInference = parallel
+			res, err := New(opts).Clean(ds, cs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w == 1 {
+				base = res
+				if res.Stats.Shards < 2 {
+					t.Fatalf("parallel=%v: shards = %d, want >= 2", parallel, res.Stats.Shards)
+				}
+				continue
+			}
+			if res.Stats.Shards != base.Stats.Shards {
+				t.Errorf("parallel=%v: shard plan depends on Workers: %d vs %d",
+					parallel, res.Stats.Shards, base.Stats.Shards)
+			}
+			if !base.Repaired.Equal(res.Repaired) {
+				t.Errorf("parallel=%v: Workers=7 repairs differ from Workers=1", parallel)
+			}
+			if len(base.Repairs) != len(res.Repairs) {
+				t.Fatalf("parallel=%v: repair counts differ", parallel)
+			}
+			for i := range base.Repairs {
+				if base.Repairs[i] != res.Repairs[i] {
+					t.Errorf("parallel=%v: repair %d differs: %+v vs %+v",
+						parallel, i, base.Repairs[i], res.Repairs[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCleanShardStats checks that the sharded pipeline reports its shard
+// structure.
+func TestCleanShardStats(t *testing.T) {
+	ds, cs := smallDirty()
+	res, err := New(DefaultOptions()).Clean(ds, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Shards < 1 {
+		t.Errorf("Shards = %d, want >= 1", res.Stats.Shards)
 	}
 }

@@ -146,10 +146,64 @@ type Compiled struct {
 	Timings   Timings
 }
 
+// Prepared is the compilation state just before grounding: every
+// materialized relation of Section 4.1 plus the generated program, but no
+// factor graph yet. The sharded pipeline prepares once and then grounds
+// the program many times — once per connected-component shard and once
+// for the learning graph — against narrowed copies of DB.
+type Prepared struct {
+	DS        *dataset.Dataset
+	Bounds    []*dc.Bound
+	Detection *errordetect.Result
+	// Hypergraph is the conflict hypergraph of the violation detector
+	// (nil when no denial-constraint violations were detected); its
+	// connected components define the pipeline shards.
+	Hypergraph *violation.Hypergraph
+	Stats      *stats.Stats
+	Domains    *pruning.Domains
+	Matches    []extdict.Match
+	Groups     []partition.Group
+	Program    *ddlog.Program
+	// DB is the fully wired database for a monolithic grounding; shard
+	// runners copy it and narrow Domains/Evidence/Matches per shard.
+	DB      *ddlog.Database
+	Timings Timings
+}
+
 // Compile runs the full compilation pipeline of Figure 2's modules 1–2:
 // error detection, statistics, domain pruning, matching, rule generation,
 // and grounding.
 func Compile(ds *dataset.Dataset, constraints []*dc.Constraint, opts Options) (*Compiled, error) {
+	p, err := Prepare(ds, constraints, opts)
+	if err != nil {
+		return nil, err
+	}
+	t := time.Now()
+	grounded, err := ddlog.Ground(p.DB, p.Program, ddlog.Config{MaxScanCounterparts: opts.MaxScanCounterparts})
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{
+		DS:        p.DS,
+		Bounds:    p.Bounds,
+		Detection: p.Detection,
+		Stats:     p.Stats,
+		Domains:   p.Domains,
+		Matches:   p.Matches,
+		Groups:    p.Groups,
+		Program:   p.Program,
+		Grounded:  grounded,
+		Timings: Timings{
+			Detect:  p.Timings.Detect,
+			Compile: p.Timings.Compile + time.Since(t),
+		},
+	}, nil
+}
+
+// Prepare runs detection, statistics, domain pruning, matching, evidence
+// sampling, and rule generation — everything Compile does short of
+// grounding the program into a factor graph.
+func Prepare(ds *dataset.Dataset, constraints []*dc.Constraint, opts Options) (*Prepared, error) {
 	if opts.MinimalityWeight == 0 {
 		opts.MinimalityWeight = 0.5
 	}
@@ -171,7 +225,7 @@ func Compile(ds *dataset.Dataset, constraints []*dc.Constraint, opts Options) (*
 	if err != nil {
 		return nil, err
 	}
-	out := &Compiled{DS: ds, Bounds: bounds}
+	out := &Prepared{DS: ds, Bounds: bounds}
 
 	// --- Error detection (Figure 2, module 1) ---
 	t0 := time.Now()
@@ -193,6 +247,9 @@ func Compile(ds *dataset.Dataset, constraints []*dc.Constraint, opts Options) (*
 	}
 	out.Detection = detection
 	out.Timings.Detect = time.Since(t0)
+	if violDet != nil {
+		out.Hypergraph = violDet.LastHypergraph
+	}
 
 	// User-confirmed cells are clean by fiat.
 	noisy := detection.Noisy
@@ -237,7 +294,11 @@ func Compile(ds *dataset.Dataset, constraints []*dc.Constraint, opts Options) (*
 
 	// Partitioning (Algorithm 3) needs the conflict hypergraph.
 	if opts.Variant.Partition {
-		h := violationHypergraph(ds, constraints, violDet)
+		h := out.Hypergraph
+		if h == nil {
+			h = violationHypergraph(ds, constraints, violDet)
+			out.Hypergraph = h
+		}
 		if h != nil {
 			out.Groups = partition.Groups(h)
 		}
@@ -293,14 +354,8 @@ func Compile(ds *dataset.Dataset, constraints []*dc.Constraint, opts Options) (*
 		}
 	}
 
-	prog := buildProgram(bounds, opts)
-	out.Program = prog
-
-	grounded, err := ddlog.Ground(db, prog, ddlog.Config{MaxScanCounterparts: opts.MaxScanCounterparts})
-	if err != nil {
-		return nil, err
-	}
-	out.Grounded = grounded
+	out.Program = buildProgram(bounds, opts)
+	out.DB = db
 	out.Timings.Compile = time.Since(t1)
 	return out, nil
 }

@@ -48,6 +48,14 @@ type Database struct {
 	// Groups are the Algorithm 3 tuple groups; nil disables partitioning
 	// even for rules that request it.
 	Groups []partition.Group
+	// Shared, when non-nil, supplies dataset-wide indexes shared across
+	// the per-shard grounders of the sharded pipeline. Nil keeps the
+	// original per-grounder lazy indexes (the monolithic path).
+	Shared *SharedIndex
+	// Scope, when non-nil, restricts DC-factor grounding to one shard:
+	// pairs that reach a noisy tuple outside the shard are skipped (see
+	// Scope). Nil grounds every pair (monolithic behavior).
+	Scope *Scope
 }
 
 // Config tunes grounding.
@@ -56,6 +64,20 @@ type Config struct {
 	// when a DC rule has no equality predicate to index on (0 =
 	// unlimited). The cap is an approximation documented in DESIGN.md.
 	MaxScanCounterparts int
+	// FactorCells, when non-nil, restricts the per-cell factor rules
+	// (features, minimality, matches, relaxed DCs) to cells it accepts.
+	// Variables are still created for every cell, so domain-aware checks
+	// (e.g. the weak-evidence discounts) see the full model. The sharded
+	// pipeline grounds its learning graph with an evidence-only filter:
+	// query cells become factorless domain stubs, and the evidence cells
+	// carry exactly the factors they carry in a monolithic grounding.
+	FactorCells func(c dataset.Cell) bool
+}
+
+// wantFactors reports whether per-cell factor rules should ground factors
+// anchored at cell c.
+func (cfg *Config) wantFactors(c dataset.Cell) bool {
+	return cfg.FactorCells == nil || cfg.FactorCells(c)
 }
 
 // Stats describes the grounded model. PaperFactors counts groundings the
@@ -228,6 +250,9 @@ func (gr *grounder) groundFeatures() {
 	}
 	var key []byte
 	for vi, c := range gr.out.Cells {
+		if !gr.cfg.wantFactors(c) {
+			continue
+		}
 		v := int32(vi)
 		dom := gr.g.Vars[v].Domain
 		if gr.db.Features != nil {
@@ -264,7 +289,7 @@ func (gr *grounder) groundFeatures() {
 func (gr *grounder) groundMatches() {
 	for _, m := range gr.db.Matches {
 		v, ok := gr.out.VarOf[m.Cell]
-		if !ok {
+		if !ok || !gr.cfg.wantFactors(m.Cell) {
 			continue
 		}
 		label, ok := gr.db.DS.Dict().Lookup(m.Value)
@@ -296,7 +321,10 @@ func (gr *grounder) groundMatches() {
 // for every query variable whose initial value survived pruning.
 func (gr *grounder) groundMinimality(weight float64) {
 	wid := gr.g.Weights.ID("prior|minimality", weight, true)
-	for vi := range gr.out.Cells {
+	for vi, c := range gr.out.Cells {
+		if !gr.cfg.wantFactors(c) {
+			continue
+		}
 		v := int32(vi)
 		vr := &gr.g.Vars[v]
 		if vr.Evidence || vr.Obs < 0 {

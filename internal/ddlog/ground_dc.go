@@ -151,8 +151,25 @@ func (gr *grounder) groundDC(rule *Rule) error {
 	b := gr.db.Bounds[ci]
 	wid := gr.g.Weights.ID("dc|"+rule.Name, rule.FixedWeight, true)
 
+	// Attributes each tuple role contributes to the factor; a counterpart
+	// whose query variables all sit on other attributes folds to
+	// constants and stays admissible under any shard scope.
+	var roleAttrs [2][]int
+	if gr.db.Scope != nil {
+		seen := [2]map[int]bool{make(map[int]bool), make(map[int]bool)}
+		for _, ref := range CellRefs(b) {
+			if !seen[ref.TupleVar][ref.Attr] {
+				seen[ref.TupleVar][ref.Attr] = true
+				roleAttrs[ref.TupleVar] = append(roleAttrs[ref.TupleVar], ref.Attr)
+			}
+		}
+	}
+
 	emit := func(t1, t2 int) {
 		gr.out.Stats.PairsChecked++
+		if !gr.db.Scope.admits(t1, roleAttrs[0]) || !gr.db.Scope.admits(t2, roleAttrs[1]) {
+			return
+		}
 		if rule.Partition && gr.db.Groups != nil && !gr.sameGroup(ci, t1, t2) {
 			return
 		}
@@ -197,12 +214,7 @@ func (gr *grounder) groundDC(rule *Rule) error {
 	// Index every tuple under every label its t2-role join cell can take
 	// (candidates for noisy cells, initial value otherwise), so pairs that
 	// only violate under a hypothetical repair are still found.
-	bucketR := make(map[int32][]int)
-	for t := 0; t < gr.db.DS.NumTuples(); t++ {
-		for _, l := range gr.candidateLabels(dataset.Cell{Tuple: t, Attr: ra}) {
-			bucketR[l] = append(bucketR[l], t)
-		}
-	}
+	bucketR := gr.candBuckets(ra)
 	for _, t1 := range gr.tuplesWithQueryRef(b, pickRole(symmetric, 0)) {
 		for _, l := range gr.candidateLabels(dataset.Cell{Tuple: t1, Attr: la}) {
 			for _, t2 := range bucketR[l] {
@@ -211,12 +223,7 @@ func (gr *grounder) groundDC(rule *Rule) error {
 		}
 	}
 	if !symmetric {
-		bucketL := make(map[int32][]int)
-		for t := 0; t < gr.db.DS.NumTuples(); t++ {
-			for _, l := range gr.candidateLabels(dataset.Cell{Tuple: t, Attr: la}) {
-				bucketL[l] = append(bucketL[l], t)
-			}
-		}
+		bucketL := gr.candBuckets(la)
 		for _, t2 := range gr.tuplesWithQueryRef(b, 1) {
 			for _, l := range gr.candidateLabels(dataset.Cell{Tuple: t2, Attr: ra}) {
 				for _, t1 := range bucketL[l] {
@@ -226,6 +233,23 @@ func (gr *grounder) groundDC(rule *Rule) error {
 		}
 	}
 	return nil
+}
+
+// candBuckets returns label → tuples whose cell on attr can take that
+// label. With a SharedIndex the dataset-wide build happens once across
+// shards; otherwise it is built from the local graph, which on a
+// monolithic grounding yields identical buckets.
+func (gr *grounder) candBuckets(attr int) map[int32][]int {
+	if gr.db.Shared != nil {
+		return gr.db.Shared.Candidates(attr)
+	}
+	m := make(map[int32][]int)
+	for t := 0; t < gr.db.DS.NumTuples(); t++ {
+		for _, l := range gr.candidateLabels(dataset.Cell{Tuple: t, Attr: attr}) {
+			m[l] = append(m[l], t)
+		}
+	}
+	return m
 }
 
 // pickRole selects which tuple role the outer loop enumerates: for

@@ -37,7 +37,7 @@ func (gr *grounder) groundRelaxedDC(rule *Rule) error {
 
 	counts := make(map[int32]int32)
 	for vi, c := range gr.out.Cells {
-		if c.Attr != hr.Attr {
+		if c.Attr != hr.Attr || !gr.cfg.wantFactors(c) {
 			continue
 		}
 		v := int32(vi)
@@ -240,12 +240,20 @@ func (gr *grounder) headEqJoin(b *dc.Bound, hr CellRef, headPreds []int) (pi, ot
 	return -1, 0
 }
 
-// initIndexCache maps attribute → (initial value → tuples).
+// initIndexCache maps attribute → (initial value → tuples). When the
+// database carries a SharedIndex the per-attribute build is delegated to
+// it (and so happens once across all shards); the per-grounder map still
+// caches the pointer to skip the shared lock on repeat lookups.
 func (gr *grounder) initIndex(attr int) map[dataset.Value][]int {
 	if gr.initIdx == nil {
 		gr.initIdx = make(map[int]map[dataset.Value][]int)
 	}
 	if idx, ok := gr.initIdx[attr]; ok {
+		return idx
+	}
+	if gr.db.Shared != nil {
+		idx := gr.db.Shared.Init(attr)
+		gr.initIdx[attr] = idx
 		return idx
 	}
 	idx := make(map[dataset.Value][]int)

@@ -1,0 +1,139 @@
+package ddlog
+
+import (
+	"sync"
+
+	"holoclean/internal/dataset"
+	"holoclean/internal/pruning"
+)
+
+// SharedIndex caches the dataset-wide indexes grounding consults — the
+// per-attribute initial-value index and the per-attribute candidate-label
+// buckets used to join denial constraints. A single SharedIndex is built
+// from the global domains and shared read-mostly across the per-shard
+// grounders of the sharded pipeline, so the O(|D|) index builds happen
+// once per attribute instead of once per shard. All methods are safe for
+// concurrent use.
+type SharedIndex struct {
+	ds      *dataset.Dataset
+	domains *pruning.Domains
+
+	mu   sync.RWMutex
+	init map[int]map[dataset.Value][]int
+	cand map[int]map[int32][]int
+}
+
+// NewSharedIndex returns an empty index over the dataset and the global
+// (pre-shard) noisy-cell domains. domains may be nil, in which case
+// candidate buckets degrade to initial values only.
+func NewSharedIndex(ds *dataset.Dataset, domains *pruning.Domains) *SharedIndex {
+	return &SharedIndex{
+		ds:      ds,
+		domains: domains,
+		init:    make(map[int]map[dataset.Value][]int),
+		cand:    make(map[int]map[int32][]int),
+	}
+}
+
+// Init returns the initial-value index of attr: value → tuples whose cell
+// (t, attr) initially holds that value. Nulls are excluded.
+func (s *SharedIndex) Init(attr int) map[dataset.Value][]int {
+	s.mu.RLock()
+	idx := s.init[attr]
+	s.mu.RUnlock()
+	if idx != nil {
+		return idx
+	}
+	idx = make(map[dataset.Value][]int)
+	for t := 0; t < s.ds.NumTuples(); t++ {
+		if v := s.ds.Get(t, attr); v != dataset.Null {
+			idx[v] = append(idx[v], t)
+		}
+	}
+	s.mu.Lock()
+	if prev := s.init[attr]; prev != nil {
+		idx = prev // another shard built it concurrently; keep one copy
+	} else {
+		s.init[attr] = idx
+	}
+	s.mu.Unlock()
+	return idx
+}
+
+// Candidates returns the candidate-label buckets of attr: label → tuples
+// whose cell (t, attr) can take that label. Noisy cells contribute every
+// value of their global pruned domain; all other cells contribute their
+// initial value. This reproduces, from the global view, exactly the
+// labels grounder.candidateLabels yields on a monolithic graph, so a
+// shard joining through these buckets sees the same counterpart pairs the
+// monolithic grounder would.
+func (s *SharedIndex) Candidates(attr int) map[int32][]int {
+	s.mu.RLock()
+	idx := s.cand[attr]
+	s.mu.RUnlock()
+	if idx != nil {
+		return idx
+	}
+	idx = make(map[int32][]int)
+	for t := 0; t < s.ds.NumTuples(); t++ {
+		c := dataset.Cell{Tuple: t, Attr: attr}
+		var cands []dataset.Value
+		if s.domains != nil {
+			cands = s.domains.Of(c)
+		}
+		if len(cands) > 0 {
+			for _, v := range cands {
+				idx[int32(v)] = append(idx[int32(v)], t)
+			}
+			continue
+		}
+		if v := s.ds.Get(t, attr); v != dataset.Null {
+			idx[int32(v)] = append(idx[int32(v)], t)
+		}
+	}
+	s.mu.Lock()
+	if prev := s.cand[attr]; prev != nil {
+		idx = prev
+	} else {
+		s.cand[attr] = idx
+	}
+	s.mu.Unlock()
+	return idx
+}
+
+// Scope restricts denial-constraint factor grounding to one shard of the
+// sharded pipeline. A pair is grounded only when every tuple that would
+// contribute query variables to the factor lies inside the shard; pairs
+// reaching, on a constraint-referenced attribute, a query variable of
+// another shard are skipped — the cross-shard independence approximation
+// of Algorithm 3, applied to the end-to-end pipeline. Tuples whose
+// referenced cells are all clean (or noisy only on attributes the
+// constraint never mentions) always participate: the grounder folds them
+// to constants, yielding exactly the factor a monolithic grounding
+// emits.
+type Scope struct {
+	// InShard marks the tuples whose noisy cells this shard owns.
+	InShard map[int]bool
+	// QueryAttrs maps each tuple owning query variables in the global
+	// model (across all shards) to the set of attributes those variables
+	// live on.
+	QueryAttrs map[int]map[int]bool
+}
+
+// admits reports whether tuple t may fill a constraint role that
+// references attrs. t == -1 (single-tuple constraints) always passes.
+func (sc *Scope) admits(t int, attrs []int) bool {
+	if sc == nil || t < 0 || sc.InShard[t] {
+		return true
+	}
+	qa := sc.QueryAttrs[t]
+	if qa == nil {
+		return true
+	}
+	for _, a := range attrs {
+		if qa[a] {
+			return false
+		}
+	}
+	return true
+}

@@ -33,6 +33,14 @@ type Config struct {
 	// evidence, so per-variable chains are exact and race-free. Graphs
 	// with query-side correlations fall back to sequential sweeps.
 	Parallel bool
+	// VarSeed, when non-nil, supplies the full per-variable chain seed for
+	// the Parallel regime (len == number of variables). The sharded
+	// pipeline uses it to seed each variable's chain by its global
+	// identity rather than its index in the shard-local graph, so
+	// per-shard inference reproduces monolithic inference bit for bit.
+	// Nil falls back to Seed + v·1e6+3 per variable. Sequential sweeps
+	// ignore it.
+	VarSeed []int64
 }
 
 // DefaultConfig mirrors the modest sampling budgets DeepDive-style systems
@@ -136,7 +144,11 @@ func runParallel(g *factor.Graph, cfg Config) *factor.Marginals {
 			for qi := w; qi < len(query); qi += workers {
 				v := query[qi]
 				vr := &g.Vars[v]
-				rng := rand.New(rand.NewSource(cfg.Seed + int64(v)*1_000_003))
+				seed := cfg.Seed + int64(v)*1_000_003
+				if cfg.VarSeed != nil {
+					seed = cfg.VarSeed[v]
+				}
+				rng := rand.New(rand.NewSource(seed))
 				dom := len(vr.Domain)
 				if cap(buf) < dom {
 					buf = make([]float64, dom)

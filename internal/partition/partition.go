@@ -100,6 +100,39 @@ func Groups(h *violation.Hypergraph) []Group {
 	return out
 }
 
+// Components returns the connected components of the global conflict
+// graph: tuples are joined when they co-appear in a violation of any
+// constraint (the union over σ of the per-constraint subgraphs H_σ that
+// Groups partitions separately). Cells of tuples in different components
+// never share a grounded factor, so the end-to-end pipeline can ground,
+// learn, and infer each component independently — the decomposition the
+// sharded Cleaner.Clean pipeline runs on. The result is deterministic:
+// tuples ascend within a component and components are ordered by their
+// smallest member tuple.
+func Components(h *violation.Hypergraph) [][]int {
+	uf := newUnionFind()
+	members := make(map[int]struct{})
+	for _, v := range h.Violations {
+		members[v.T1] = struct{}{}
+		if v.T2 >= 0 {
+			members[v.T2] = struct{}{}
+			uf.union(v.T1, v.T2)
+		}
+	}
+	comps := make(map[int][]int)
+	for t := range members {
+		root := uf.find(t)
+		comps[root] = append(comps[root], t)
+	}
+	out := make([][]int, 0, len(comps))
+	for _, tuples := range comps {
+		sort.Ints(tuples)
+		out = append(out, tuples)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
 // TotalPairs sums PairCount over groups: the Σ_g |g|² bound of the paper
 // (up to the constant), compared against |Σ|·|D|² without partitioning.
 func TotalPairs(groups []Group) int {

@@ -154,3 +154,51 @@ func TestUnionFind(t *testing.T) {
 		t.Errorf("fresh element should be its own root")
 	}
 }
+
+func TestComponentsUnionAcrossConstraints(t *testing.T) {
+	// fd joins {0,1} and {3,4}; the B→A direction joins {1,2} through the
+	// shared B value "1", merging {0,1,2} into one global component even
+	// though no single constraint connects all three.
+	var cs []*dc.Constraint
+	cs = append(cs, dc.FD("fd", []string{"A"}, []string{"B"})...)
+	cs = append(cs, dc.FD("fd2", []string{"B"}, []string{"A"})...)
+	h := buildHypergraph(t, [][]string{
+		{"a", "1"}, {"a", "2"}, {"x", "2"},
+		{"b", "7"}, {"b", "8"},
+		{"c", "9"},
+	}, cs)
+	comps := Components(h)
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2: %v", len(comps), comps)
+	}
+	if len(comps[0]) != 3 || comps[0][0] != 0 || comps[0][1] != 1 || comps[0][2] != 2 {
+		t.Errorf("first component = %v, want [0 1 2]", comps[0])
+	}
+	if len(comps[1]) != 2 || comps[1][0] != 3 {
+		t.Errorf("second component = %v, want [3 4]", comps[1])
+	}
+}
+
+func TestComponentsDeterministic(t *testing.T) {
+	cs := dc.FD("fd", []string{"A"}, []string{"B"})
+	h := buildHypergraph(t, [][]string{
+		{"a", "1"}, {"a", "2"}, {"b", "1"}, {"b", "2"}, {"c", "1"}, {"c", "2"},
+	}, cs)
+	first := Components(h)
+	for i := 0; i < 10; i++ {
+		again := Components(h)
+		if len(again) != len(first) {
+			t.Fatalf("component count changed: %d vs %d", len(again), len(first))
+		}
+		for j := range first {
+			if len(first[j]) != len(again[j]) {
+				t.Fatalf("component %d changed size", j)
+			}
+			for k := range first[j] {
+				if first[j][k] != again[j][k] {
+					t.Fatalf("component %d differs at %d", j, k)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,392 @@
+package holoclean
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"holoclean/internal/compile"
+	"holoclean/internal/dataset"
+	"holoclean/internal/ddlog"
+	"holoclean/internal/extdict"
+	"holoclean/internal/factor"
+	"holoclean/internal/gibbs"
+	"holoclean/internal/partition"
+	"holoclean/internal/pruning"
+)
+
+// A shard is one independent unit of the sharded pipeline: the noisy
+// cells (as indices into the global pruned-domain cell list) whose
+// grounding and inference it owns. All noisy cells of a tuple land in the
+// same shard, so intra-tuple interactions (weak-evidence discounts,
+// single-tuple constraints) stay whole.
+//
+// Shard boundaries follow the connected components of the conflict
+// hypergraph when the model grounds correlation (n-ary) factors: cells
+// that never co-occur in a violation are conditionally independent given
+// the evidence (Section 5, and the decomposition PClean-style systems
+// exploit per entity), so per-component inference is exact up to the
+// Algorithm 3 approximation for pairs that only violate hypothetically.
+// When the model has no correlation factors (the default DC Feats
+// relaxation of Section 5.2), every query variable is independent and
+// shards are just load-balanced, tuple-aligned batches.
+type shard struct {
+	cells []int // indices into Domains.Cells, ascending
+}
+
+// cellBatch bounds shards formed by batching independent cells: the
+// load-balanced shards of the independent regime and the shards of noisy
+// cells whose tuples appear in no violation (e.g. cells flagged by
+// outlier detection). It is a fixed constant — never derived from the
+// worker count — so the shard plan, and with it every seeding and
+// fast-path decision, is identical for every Options.Workers value.
+const cellBatch = 256
+
+// planShards assigns every noisy cell to a shard. coupled says whether
+// the program grounds correlation factors (DC Factors variants), in which
+// case violation components bound the shards; otherwise cells are batched
+// into fixed-size chunks for the worker pool. The plan is deterministic
+// and depends only on the dataset and constraints — never on scheduling
+// or the worker count.
+func planShards(prep *compile.Prepared, coupled bool) []shard {
+	dom := prep.Domains
+	n := len(dom.Cells)
+	if n == 0 {
+		return nil
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	if coupled && prep.Hypergraph == nil {
+		// Correlation factors with no observed violations to partition
+		// by: keep one shard so the grounded model matches the monolithic
+		// one instead of dropping hypothetical cross-batch pairs.
+		return []shard{{cells: all}}
+	}
+	if !coupled {
+		return batchByTuple(dom.Cells, all, cellBatch)
+	}
+	comps := partition.Components(prep.Hypergraph)
+	compOf := make(map[int]int)
+	for ci, tuples := range comps {
+		for _, t := range tuples {
+			compOf[t] = ci
+		}
+	}
+	byComp := make([][]int, len(comps))
+	var stray []int
+	for i, c := range dom.Cells {
+		if ci, ok := compOf[c.Tuple]; ok {
+			byComp[ci] = append(byComp[ci], i)
+		} else {
+			stray = append(stray, i)
+		}
+	}
+	var out []shard
+	for _, cells := range byComp {
+		if len(cells) > 0 {
+			out = append(out, shard{cells: cells})
+		}
+	}
+	out = append(out, batchByTuple(dom.Cells, stray, cellBatch)...)
+	return out
+}
+
+// batchByTuple packs cell indices into shards of roughly target cells,
+// splitting only at tuple boundaries. cells must be grouped by tuple
+// (detection emits noisy cells sorted by tuple, then attribute).
+func batchByTuple(cells []dataset.Cell, idx []int, target int) []shard {
+	var out []shard
+	var cur []int
+	for k, i := range idx {
+		if len(cur) >= target && cells[i].Tuple != cells[idx[k-1]].Tuple {
+			out = append(out, shard{cells: cur})
+			cur = nil
+		}
+		cur = append(cur, i)
+	}
+	if len(cur) > 0 {
+		out = append(out, shard{cells: cur})
+	}
+	return out
+}
+
+// groundLearning grounds the learning graph: one variable per noisy cell
+// (a factorless domain stub) plus every evidence variable with exactly
+// the factors it would carry in a monolithic grounding. Learning over
+// this graph is therefore learning on the union of all shards' training
+// cells — the weight-tying choice of the sharded pipeline (see
+// ARCHITECTURE.md): one SGD pass over the global evidence set produces a
+// single weight vector that every shard shares, instead of averaging
+// independently learned per-shard weights.
+func groundLearning(prep *compile.Prepared, shared *ddlog.SharedIndex, maxScan int) (*ddlog.Grounded, error) {
+	evid := make(map[dataset.Cell]bool, len(prep.DB.Evidence))
+	for _, c := range prep.DB.Evidence {
+		evid[c] = true
+	}
+	db := *prep.DB
+	db.Shared = shared
+	prog := &ddlog.Program{}
+	for _, r := range prep.Program.Rules {
+		// Correlation factors never touch evidence variables (clean and
+		// evidence cells fold to constants during DC grounding), so they
+		// carry no learning signal; skip them.
+		if r.Kind == ddlog.DCFactors {
+			continue
+		}
+		prog.Add(r)
+	}
+	return ddlog.Ground(&db, prog, ddlog.Config{
+		MaxScanCounterparts: maxScan,
+		FactorCells:         func(c dataset.Cell) bool { return evid[c] },
+	})
+}
+
+// learnedWeights snapshots the learnable weights of the learning graph by
+// tying key, for broadcast into the shard graphs.
+func learnedWeights(g *factor.Graph) map[string]float64 {
+	out := make(map[string]float64, g.Weights.Len())
+	for i, k := range g.Weights.Keys {
+		if !g.Weights.Fixed[i] {
+			out[k] = g.Weights.W[i]
+		}
+	}
+	return out
+}
+
+// shardRunner executes the per-shard ground → tie weights → infer →
+// extract pipeline over a bounded worker pool and merges the results.
+type shardRunner struct {
+	prep    *compile.Prepared
+	opts    Options
+	shared  *ddlog.SharedIndex
+	learned map[string]float64
+
+	// globalIdx[i] is the query-variable rank cell Domains.Cells[i] has
+	// in a monolithic grounding (-1 when its candidate set is empty and
+	// no variable exists). Per-variable chain seeds derive from it, so
+	// sharded Gibbs marginals in the independent regime are bit-identical
+	// to monolithic ones for every worker count.
+	globalIdx    []int
+	queryAttrs   map[int]map[int]bool
+	matchByTuple map[int][]extdict.Match
+
+	mu         sync.Mutex
+	res        *Result
+	repaired   *Dataset
+	weightKeys map[string]bool
+	groundTime time.Duration
+	inferTime  time.Duration
+}
+
+func newShardRunner(prep *compile.Prepared, opts Options, shared *ddlog.SharedIndex, learned map[string]float64, res *Result, repaired *Dataset) *shardRunner {
+	r := &shardRunner{
+		prep:         prep,
+		opts:         opts,
+		shared:       shared,
+		learned:      learned,
+		globalIdx:    make([]int, len(prep.Domains.Cells)),
+		queryAttrs:   make(map[int]map[int]bool),
+		matchByTuple: make(map[int][]extdict.Match),
+		res:          res,
+		repaired:     repaired,
+		weightKeys:   make(map[string]bool),
+	}
+	rank := 0
+	for i, cands := range prep.Domains.Candidates {
+		if len(cands) == 0 {
+			r.globalIdx[i] = -1
+			continue
+		}
+		r.globalIdx[i] = rank
+		rank++
+		c := prep.Domains.Cells[i]
+		if r.queryAttrs[c.Tuple] == nil {
+			r.queryAttrs[c.Tuple] = make(map[int]bool)
+		}
+		r.queryAttrs[c.Tuple][c.Attr] = true
+	}
+	for _, m := range prep.Matches {
+		r.matchByTuple[m.Cell.Tuple] = append(r.matchByTuple[m.Cell.Tuple], m)
+	}
+	return r
+}
+
+// runAll executes every shard on a pool of at most workers goroutines and
+// returns the first error. Results are merged under a mutex; because each
+// shard's output is computed independently and the final Result is sorted
+// afterwards, scheduling order never changes the outcome.
+func (r *shardRunner) runAll(plan []shard, workers int) error {
+	if len(plan) == 0 {
+		return nil
+	}
+	if workers > len(plan) {
+		workers = len(plan)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// The jobs channel is buffered with the whole plan and closed before
+	// the workers start, so a worker bailing out on an error can never
+	// leave a blocked producer behind.
+	jobs := make(chan int, len(plan))
+	for i := range plan {
+		jobs <- i
+	}
+	close(jobs)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := r.runOne(plan[i]); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// runOne grounds, infers, and extracts a single shard.
+func (r *shardRunner) runOne(sh shard) error {
+	prep, o := r.prep, r.opts
+
+	// Narrow the database to the shard's cells.
+	cells := make([]dataset.Cell, 0, len(sh.cells))
+	cands := make([][]dataset.Value, 0, len(sh.cells))
+	inShard := make(map[int]bool)
+	var matches []extdict.Match
+	gidx := make([]int64, 0, len(sh.cells)) // local query var → global rank
+	for _, i := range sh.cells {
+		c := prep.Domains.Cells[i]
+		cells = append(cells, c)
+		cands = append(cands, prep.Domains.Candidates[i])
+		if !inShard[c.Tuple] {
+			inShard[c.Tuple] = true
+			matches = append(matches, r.matchByTuple[c.Tuple]...)
+		}
+		if r.globalIdx[i] >= 0 {
+			gidx = append(gidx, int64(r.globalIdx[i]))
+		}
+	}
+	db := *prep.DB
+	db.Domains = &pruning.Domains{Cells: cells, Candidates: cands}
+	db.Evidence, db.EvidenceDomains = nil, nil
+	db.Matches = matches
+	db.Shared = r.shared
+	db.Scope = &ddlog.Scope{InShard: inShard, QueryAttrs: r.queryAttrs}
+
+	tg := time.Now()
+	g, err := ddlog.Ground(&db, prep.Program, ddlog.Config{MaxScanCounterparts: o.MaxScanCounterparts})
+	if err != nil {
+		return err
+	}
+	// Tie shared signal families across shards: overwrite every learnable
+	// weight with its globally learned value. Keys grounded only by query
+	// cells receive no gradient in a monolithic run either, so keeping
+	// their initial value matches monolithic behavior exactly.
+	w := g.Graph.Weights
+	for i, k := range w.Keys {
+		if v, ok := r.learned[k]; ok && !w.Fixed[i] {
+			w.W[i] = v
+		}
+	}
+	groundDur := time.Since(tg)
+
+	// Inference: singleton nary-free shards take the closed-form fast
+	// path; independent-regime shards sample per-variable chains seeded
+	// by global variable identity; correlated shards run sequential Gibbs
+	// seeded by the shard's first global variable, stable across pools.
+	ti := time.Now()
+	hasNary := g.Graph.HasNaryOnQuery()
+	singleton := g.Stats.QueryVars == 1
+	var m *factor.Marginals
+	if !hasNary && (singleton || o.ExactInference) {
+		m = gibbs.Exact(g.Graph)
+	} else {
+		burn, samp := o.GibbsBurnIn, o.GibbsSamples
+		if samp <= 0 {
+			samp = 50
+		}
+		if burn <= 0 {
+			burn = 10
+		}
+		cfg := gibbs.Config{BurnIn: burn, Samples: samp, Seed: o.Seed, Parallel: o.ParallelInference}
+		if len(gidx) > 0 {
+			cfg.Seed = o.Seed + gidx[0]*7919
+		}
+		if !hasNary && o.ParallelInference {
+			vs := make([]int64, len(g.Graph.Vars))
+			for vi := range vs {
+				vs[vi] = o.Seed + gidx[vi]*1_000_003
+			}
+			cfg.VarSeed = vs
+		}
+		m = gibbs.Run(g.Graph, cfg)
+	}
+	inferDur := time.Since(ti)
+
+	// Extract repairs and marginals (MAP per query variable) and merge.
+	ds := prep.DS
+	dict := ds.Dict()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.groundTime += groundDur
+	r.inferTime += inferDur
+	r.res.Stats.Factors += g.Graph.NumFactors()
+	r.res.Stats.PaperFactors += g.Stats.PaperFactors
+	if singleton && !hasNary {
+		r.res.Stats.SingletonShards++
+	}
+	for _, k := range w.Keys {
+		r.weightKeys[k] = true
+	}
+	for vi, c := range g.Cells {
+		v := int32(vi)
+		dom := g.Graph.Vars[v].Domain
+		dist := make([]ValueProb, len(dom))
+		for d, label := range dom {
+			dist[d] = ValueProb{Value: dict.String(dataset.Value(label)), P: m.Prob(v, d)}
+		}
+		sort.Slice(dist, func(i, j int) bool { return dist[i].P > dist[j].P })
+		r.res.Marginals[c] = dist
+
+		mapIdx, p := m.MAP(v)
+		newLabel := dataset.Value(dom[mapIdx])
+		if newLabel != ds.Get(c.Tuple, c.Attr) {
+			r.repaired.Set(c.Tuple, c.Attr, newLabel)
+			r.res.Repairs = append(r.res.Repairs, Repair{
+				Cell:        c,
+				Attr:        ds.AttrName(c.Attr),
+				Tuple:       c.Tuple,
+				Old:         ds.GetString(c.Tuple, c.Attr),
+				New:         dict.String(newLabel),
+				Probability: p,
+			})
+		}
+	}
+	return nil
+}
+
+// defaultWorkers resolves Options.Workers.
+func defaultWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
