@@ -9,6 +9,7 @@ package holoclean_test
 
 import (
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"sync"
@@ -162,6 +163,98 @@ func BenchmarkAblation_Partitioning(b *testing.B) {
 		rows := harness.AblationPartitioning(g)
 		once("ablation-partitioning", func() { harness.PrintPartitioning(os.Stdout, rows) })
 	}
+}
+
+// benchMutate applies a ~1% tuple mutation in the shape of an update
+// stream: single-character typos on the phone number (FD-covered, so
+// detection and the conflict hypergraph change) and fresh readings in the
+// Score/Sample measure columns — the hospital generator's own error
+// mechanism.
+func benchMutate(rng *rand.Rand, upsert func(t int, row []string), get func(t, a int) string, n, attrs int) {
+	errAttrs := []int{9, 16, 17}
+	count := n / 100
+	if count < 1 {
+		count = 1
+	}
+	for k := 0; k < count; k++ {
+		tup := rng.Intn(n)
+		row := make([]string, attrs)
+		for a := range row {
+			row[a] = get(tup, a)
+		}
+		a := errAttrs[rng.Intn(len(errAttrs))]
+		row[a] = fmt.Sprintf("%s~%d", row[a], rng.Intn(10))
+		upsert(tup, row)
+	}
+}
+
+// BenchmarkIncrementalReclean measures Session.Reclean after a 1% tuple
+// mutation of the hospital workload against a from-scratch Clean of the
+// same mutated dataset, both at Workers=1. The full/reclean wall-clock
+// ratio is the incremental speedup; shards-reused shows how much of the
+// plan was carried forward.
+func BenchmarkIncrementalReclean(b *testing.B) {
+	gen := func() *datagen.Generated { return datagen.Hospital(datagen.Config{Tuples: 1000, Seed: 1}) }
+	opts := harness.HoloCleanOptions("hospital")
+	opts.Workers = 1
+
+	b.Run("full", func(b *testing.B) {
+		g := gen()
+		ds := g.Dirty.Clone()
+		rng := rand.New(rand.NewSource(9))
+		cl := holoclean.New(opts)
+		if _, err := cl.Clean(ds, g.Constraints); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			benchMutate(rng, func(t int, row []string) {
+				for a, v := range row {
+					ds.SetString(t, a, v)
+				}
+			}, ds.GetString, ds.NumTuples(), ds.NumAttrs())
+			b.StartTimer()
+			if _, err := cl.Clean(ds, g.Constraints); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("reclean", func(b *testing.B) {
+		g := gen()
+		s, err := holoclean.NewSession(g.Dirty, g.Constraints, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Clean(); err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(9))
+		ds := s.Dataset()
+		var reused, executed float64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			benchMutate(rng, func(t int, row []string) {
+				if _, err := s.Upsert(t, row); err != nil {
+					b.Fatal(err)
+				}
+				for a, v := range row {
+					ds.SetString(t, a, v)
+				}
+			}, ds.GetString, s.NumTuples(), ds.NumAttrs())
+			b.StartTimer()
+			res, err := s.Reclean()
+			if err != nil {
+				b.Fatal(err)
+			}
+			reused += float64(res.Stats.ShardsReused)
+			executed += float64(res.Stats.Shards)
+		}
+		b.ReportMetric(reused/float64(b.N), "shards-reused")
+		b.ReportMetric(executed/float64(b.N), "shards-executed")
+	})
 }
 
 // BenchmarkCleanSharded measures the end-to-end sharded pipeline at

@@ -13,10 +13,12 @@
 package main
 
 import (
+	"encoding/csv"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 
 	"holoclean"
@@ -36,6 +38,8 @@ func main() {
 		variant   = flag.String("variant", "feats", "model variant: feats, factors, factors+part, feats+factors, feats+factors+part")
 		outliers  = flag.Bool("outliers", false, "add outlier-based error detection")
 		workers   = flag.Int("workers", 0, "shard worker pool size (0 = all CPUs); results are identical for any value")
+		deltaPath = flag.String("delta", "", "CSV of tuple changes (op,row,<schema...>) applied after the initial clean; re-repairs incrementally via a Session")
+		relearn   = flag.Int("relearn-every", 0, "with -delta: relearn weights on every Nth reclean (0 = reuse the initial weights)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		verbose   = flag.Bool("v", false, "print repairs and marginals")
 	)
@@ -99,7 +103,13 @@ func main() {
 		opts.MatchDependencies = mds
 	}
 
-	res, err := holoclean.New(opts).Clean(ds, constraints)
+	var res *holoclean.Result
+	if *deltaPath != "" {
+		opts.RelearnEvery = *relearn
+		res, err = runSession(ds, constraints, opts, *deltaPath)
+	} else {
+		res, err = holoclean.New(opts).Clean(ds, constraints)
+	}
 	if err != nil {
 		log.Fatalf("cleaning: %v", err)
 	}
@@ -124,6 +134,74 @@ func main() {
 	if err := res.Repaired.WriteCSVFile(*outPath); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runSession cleans through an incremental Session: one full clean, then
+// the delta file's tuple changes followed by a Reclean that re-repairs
+// only the affected scope. The delta CSV has columns op,row,<schema...>:
+// op is "upsert" or "delete", row the tuple index (-1 or empty appends),
+// and the remaining columns the new values (ignored for deletes).
+func runSession(ds *holoclean.Dataset, constraints []*holoclean.Constraint, opts holoclean.Options, deltaPath string) (*holoclean.Result, error) {
+	s, err := holoclean.NewSession(ds, constraints, opts)
+	if err != nil {
+		return nil, err
+	}
+	first, err := s.Clean()
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "holoclean: initial clean: %d repairs, %d shards in %v\n",
+		len(first.Repairs), first.Stats.Shards, first.Stats.TotalTime.Round(1e6))
+
+	f, err := os.Open(deltaPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.FieldsPerRecord = -1
+	records, err := r.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	applied := 0
+	for i, rec := range records {
+		if i == 0 && len(rec) > 0 && strings.EqualFold(rec[0], "op") {
+			continue // header
+		}
+		if len(rec) < 2 {
+			return nil, fmt.Errorf("delta line %d: need op,row[,values...]", i+1)
+		}
+		row := -1
+		if v := strings.TrimSpace(rec[1]); v != "" {
+			if row, err = strconv.Atoi(v); err != nil {
+				return nil, fmt.Errorf("delta line %d: bad row %q", i+1, rec[1])
+			}
+		}
+		switch op := strings.ToLower(strings.TrimSpace(rec[0])); op {
+		case "upsert":
+			if len(rec) != ds.NumAttrs()+2 {
+				return nil, fmt.Errorf("delta line %d: got %d values, want %d", i+1, len(rec)-2, ds.NumAttrs())
+			}
+			if _, err := s.Upsert(row, rec[2:]); err != nil {
+				return nil, err
+			}
+		case "delete":
+			if err := s.Delete(row); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("delta line %d: unknown op %q", i+1, op)
+		}
+		applied++
+	}
+	res, err := s.Reclean()
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "holoclean: reclean after %d changes: %d shards executed, %d reused in %v\n",
+		applied, res.Stats.Shards, res.Stats.ShardsReused, res.Stats.TotalTime.Round(1e6))
+	return res, nil
 }
 
 // loadDictionary reads a dictionary CSV and parses the -match spec into

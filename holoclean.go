@@ -42,6 +42,8 @@ import (
 	"holoclean/internal/errordetect"
 	"holoclean/internal/extdict"
 	"holoclean/internal/learn"
+	"holoclean/internal/stats"
+	"holoclean/internal/violation"
 )
 
 // Dataset is a relational instance to be cleaned. See NewDataset, LoadCSV
@@ -170,8 +172,14 @@ type Options struct {
 	LearningEpochs int
 	LearningRate   float64
 	L2             float64
-	// GibbsBurnIn and GibbsSamples configure the sampler.
-	GibbsBurnIn  int
+	// GibbsBurnIn is the number of sweeps the sampler discards before
+	// collecting marginal statistics. Zero means zero sweeps — an explicit
+	// no-burn-in run — and negative values clamp to zero; start from
+	// DefaultOptions for the paper's budget of 10.
+	GibbsBurnIn int
+	// GibbsSamples is the number of collected sweeps; values <= 0 fall
+	// back to the default 50 (zero samples would leave marginals
+	// undefined).
 	GibbsSamples int
 	// ExactInference replaces Gibbs with the closed-form posterior when
 	// the model has independent query variables (Section 5.2 regime).
@@ -184,6 +192,20 @@ type Options struct {
 	// MaxScanCounterparts caps DC grounding when no equality predicate
 	// can index the join (0 = unlimited).
 	MaxScanCounterparts int
+	// InitialWeights, when non-nil, replaces weight learning: the map
+	// (tying key → weight, e.g. a previous run's Result.LearnedWeights)
+	// is broadcast to every shard exactly as freshly learned weights
+	// would be, and evidence sampling, learning-graph grounding, and SGD
+	// are all skipped. Session.Reclean uses this to reuse a session's
+	// weights across incremental recleans; it is also the reference
+	// configuration for verifying that an incremental reclean matches a
+	// from-scratch Clean bit for bit.
+	InitialWeights map[string]float64
+	// RelearnEvery makes a Session relearn weights on every Nth Reclean
+	// (N = 1 relearns every time). Zero — the default — never relearns
+	// after the initial Clean: weights are reused via their tying keys,
+	// trading slow drift for reclean latency. Plain Clean ignores it.
+	RelearnEvery int
 	// Workers bounds the worker pool of the sharded pipeline: Clean
 	// splits the noisy cells into independent shards (connected
 	// components of the conflict hypergraph when correlation factors are
@@ -250,10 +272,14 @@ type RunStats struct {
 	Weights      int
 
 	// Shards is the number of independent shards the pipeline executed;
-	// SingletonShards of them held a single uncorrelated variable and
-	// took the closed-form inference fast path.
+	// SingletonShards of them were conflict components holding a single
+	// uncorrelated variable and took the closed-form inference fast path.
 	Shards          int
 	SingletonShards int
+	// ShardsReused counts the shards of the full plan whose cached
+	// results an incremental Session.Reclean carried forward instead of
+	// re-executing. Always zero for a plain Clean.
+	ShardsReused int
 
 	DetectTime  time.Duration
 	CompileTime time.Duration
@@ -273,6 +299,10 @@ type Result struct {
 	// Marginals holds the posterior distribution of every noisy cell
 	// (sorted by decreasing probability).
 	Marginals map[Cell][]ValueProb
+	// LearnedWeights maps tying keys to the learned (or injected) weight
+	// values the run inferred with. Feed it to Options.InitialWeights to
+	// repeat inference without relearning.
+	LearnedWeights map[string]float64
 	// Stats reports model sizes and phase timings.
 	Stats RunStats
 }
@@ -291,6 +321,88 @@ type Cleaner struct {
 // New returns a Cleaner.
 func New(opts Options) *Cleaner { return &Cleaner{opts: opts} }
 
+// incrementalInputs carries the precomputed state Session.Reclean threads
+// into the pipeline: scoped detection results, delta-maintained
+// statistics, reusable weights, a rebound shared index, and the dirty
+// tuple set together with the previous run's caches.
+type incrementalInputs struct {
+	// prep, when non-nil, is the compilation state the session already
+	// prepared (it needs the refreshed domains to compute the dirty set
+	// before the pipeline runs); clean skips its own Prepare call.
+	prep       *compile.Prepared
+	detection  *errordetect.Result
+	hypergraph *violation.Hypergraph
+	st         *stats.Stats
+	masked     *stats.Stats
+	// weights, when non-nil, are broadcast instead of learned.
+	weights map[string]float64
+	shared  *ddlog.SharedIndex
+	// dirty is the invalidated tuple set; nil executes every shard.
+	dirty    map[int]bool
+	prevSigs map[string]bool
+	outcomes map[Cell]cellOutcome
+	// detectTime is the scoped-detection wall clock spent by the caller.
+	detectTime time.Duration
+}
+
+// cleanArtifacts exposes the pipeline state a Session caches for its next
+// incremental reclean.
+type cleanArtifacts struct {
+	prep   *compile.Prepared
+	shared *ddlog.SharedIndex
+	runner *shardRunner
+	// plan is the full shard plan, including shards that were reused.
+	plan []shard
+}
+
+// compileOptions maps the cleaner's options onto the compiler's.
+func (cl *Cleaner) compileOptions() compile.Options {
+	o := cl.opts
+	return compile.Options{
+		Tau:                    o.Tau,
+		MaxCandidates:          o.MaxCandidates,
+		FullDomain:             o.FullDomain,
+		Variant:                o.Variant,
+		MinimalityWeight:       o.MinimalityWeight,
+		DCWeight:               o.DCWeight,
+		MaxEvidence:            o.EvidenceSample,
+		Seed:                   o.Seed,
+		Dictionaries:           o.Dictionaries,
+		MatchDeps:              o.MatchDependencies,
+		DictionaryPrior:        o.DictionaryPrior,
+		RelaxedDCPrior:         o.RelaxedDCPrior,
+		DisableCooccurFeatures: o.DisableCooccurFeatures,
+		DisableSourceFeatures:  o.DisableSourceFeatures,
+		MaxScanCounterparts:    o.MaxScanCounterparts,
+		Trusted:                cl.trusted,
+		SkipEvidence:           o.InitialWeights != nil,
+	}
+}
+
+// detectors assembles the error-detection stack of Figure 2's module 1.
+// viol, when non-nil, replaces the default constraint-violation detector
+// (sessions substitute a delta-scoped one).
+func (cl *Cleaner) detectors(ds *Dataset, constraints []*Constraint, viol *errordetect.Violations) ([]errordetect.Detector, error) {
+	var out []errordetect.Detector
+	if len(constraints) > 0 {
+		if viol == nil {
+			viol = &errordetect.Violations{Constraints: constraints}
+		}
+		out = append(out, viol)
+	}
+	if cl.opts.OutlierDetection {
+		out = append(out, &errordetect.Outliers{}, &errordetect.CondOutliers{})
+	}
+	if len(cl.opts.MatchDependencies) > 0 {
+		matcher, err := extdict.NewMatcher(ds, cl.opts.Dictionaries, cl.opts.MatchDependencies)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &errordetect.Dictionary{Matcher: matcher})
+	}
+	return out, nil
+}
+
 // Clean repairs the dataset under the given denial constraints. The input
 // dataset is not modified.
 //
@@ -303,99 +415,182 @@ func New(opts Options) *Cleaner { return &Cleaner{opts: opts} }
 // learned once on the union of all shards' evidence cells and shared by
 // every shard, so shard boundaries never change what is learned. Given a
 // fixed Seed the result is deterministic regardless of Workers.
+//
+// For a stream of small changes to one dataset, NewSession's Reclean
+// re-repairs only the affected scope instead of re-running Clean.
 func (cl *Cleaner) Clean(ds *Dataset, constraints []*Constraint) (*Result, error) {
+	res, _, err := cl.clean(ds, constraints, nil)
+	return res, err
+}
+
+// clean is the shared pipeline behind Clean and Session.Reclean. With nil
+// incremental inputs it behaves exactly like a from-scratch run.
+func (cl *Cleaner) clean(ds *Dataset, constraints []*Constraint, inc *incrementalInputs) (*Result, *cleanArtifacts, error) {
 	if len(constraints) == 0 && len(cl.opts.MatchDependencies) == 0 {
-		return nil, fmt.Errorf("holoclean: no repair signals (need constraints or match dependencies)")
+		return nil, nil, fmt.Errorf("holoclean: no repair signals (need constraints or match dependencies)")
 	}
 	start := time.Now()
 	o := cl.opts
 
-	var detectors []errordetect.Detector
-	if len(constraints) > 0 {
-		detectors = append(detectors, &errordetect.Violations{Constraints: constraints})
-	}
-	if o.OutlierDetection {
-		detectors = append(detectors, &errordetect.Outliers{}, &errordetect.CondOutliers{})
-	}
-	if len(o.MatchDependencies) > 0 {
-		matcher, err := extdict.NewMatcher(ds, o.Dictionaries, o.MatchDependencies)
-		if err != nil {
-			return nil, err
+	copts := cl.compileOptions()
+	if inc != nil {
+		copts.Detection = inc.detection
+		copts.Hypergraph = inc.hypergraph
+		copts.Stats = inc.st
+		copts.MaskedStats = inc.masked
+		if inc.weights != nil {
+			copts.SkipEvidence = true
 		}
-		detectors = append(detectors, &errordetect.Dictionary{Matcher: matcher})
+	} else {
+		detectors, err := cl.detectors(ds, constraints, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		copts.Detectors = detectors
 	}
-
-	prep, err := compile.Prepare(ds, constraints, compile.Options{
-		Tau:                    o.Tau,
-		MaxCandidates:          o.MaxCandidates,
-		FullDomain:             o.FullDomain,
-		Variant:                o.Variant,
-		MinimalityWeight:       o.MinimalityWeight,
-		DCWeight:               o.DCWeight,
-		MaxEvidence:            o.EvidenceSample,
-		Seed:                   o.Seed,
-		Detectors:              detectors,
-		Dictionaries:           o.Dictionaries,
-		MatchDeps:              o.MatchDependencies,
-		DictionaryPrior:        o.DictionaryPrior,
-		RelaxedDCPrior:         o.RelaxedDCPrior,
-		DisableCooccurFeatures: o.DisableCooccurFeatures,
-		DisableSourceFeatures:  o.DisableSourceFeatures,
-		MaxScanCounterparts:    o.MaxScanCounterparts,
-		Trusted:                cl.trusted,
-	})
-	if err != nil {
-		return nil, err
+	var prep *compile.Prepared
+	if inc != nil && inc.prep != nil {
+		prep = inc.prep
+	} else {
+		var err error
+		prep, err = compile.Prepare(ds, constraints, copts)
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 
 	res := &Result{Marginals: make(map[Cell][]ValueProb)}
 	res.Stats.NoisyCells = prep.Detection.NumNoisy()
 	res.Stats.DetectTime = prep.Timings.Detect
+	if inc != nil {
+		res.Stats.DetectTime += inc.detectTime
+	}
 
 	workers := defaultWorkers(o.Workers)
 	plan := planShards(prep, o.Variant.DCFactors)
-	res.Stats.Shards = len(plan)
+	execPlan := plan
+	var reusedCells []int
+	if inc != nil && inc.dirty != nil {
+		// Dirty-set mode: only shards invalidated by the delta run; in
+		// the independent-variable fast-path regime the dirty cells are
+		// re-batched so clean cells in mixed batches are reused too.
+		rebatch := !o.Variant.DCFactors && (o.ParallelInference || o.ExactInference)
+		execPlan, reusedCells = splitPlan(plan, prep.Domains.Cells, inc.dirty, rebatch, inc.prevSigs)
+	}
+	res.Stats.Shards = len(execPlan)
+	if r := len(plan) - len(execPlan); r > 0 {
+		res.Stats.ShardsReused = r
+	}
 
-	shared := ddlog.NewSharedIndex(prep.DS, prep.Domains)
-
-	// --- Learning (Section 2.2: ERM over the likelihood via SGD), on the
-	// union of all shards' evidence cells so weights stay globally tied ---
+	// Shared-index construction is part of compilation (it replaces the
+	// per-shard index builds), so the compile clock starts before it.
 	tg := time.Now()
-	learnG, err := groundLearning(prep, shared, o.MaxScanCounterparts)
-	if err != nil {
-		return nil, err
+	shared := ddlog.NewSharedIndex(prep.DS, prep.Domains)
+	if inc != nil && inc.shared != nil {
+		shared = inc.shared // rebound across the delta by the session
 	}
-	res.Stats.CompileTime = prep.Timings.Compile + time.Since(tg)
-	res.Stats.Variables = learnG.Stats.Variables
-	res.Stats.QueryVars = learnG.Stats.QueryVars
-	res.Stats.EvidenceVars = learnG.Stats.EvidenceVars
-	res.Stats.Factors = learnG.Graph.NumFactors()
-	res.Stats.PaperFactors = learnG.Stats.PaperFactors
 
-	tLearn := time.Now()
-	epochs := o.LearningEpochs
-	if epochs <= 0 {
-		epochs = 10
+	injected := o.InitialWeights
+	if inc != nil && inc.weights != nil {
+		injected = inc.weights
 	}
-	lr := o.LearningRate
-	if lr == 0 {
-		lr = 0.1
+	var learned map[string]float64
+	var learnKeys []string
+	if injected != nil {
+		// Weight reuse: broadcast the supplied weights instead of
+		// learning; the model-size stats come straight from the domains
+		// (one query variable per noisy cell with a non-empty candidate
+		// set, no evidence variables).
+		learned = injected
+		qv := 0
+		for _, cands := range prep.Domains.Candidates {
+			if len(cands) > 0 {
+				qv++
+			}
+		}
+		res.Stats.Variables, res.Stats.QueryVars = qv, qv
+		res.Stats.CompileTime = prep.Timings.Compile + time.Since(tg)
+	} else {
+		// --- Learning (Section 2.2: ERM over the likelihood via SGD), on
+		// the union of all shards' evidence cells so weights stay
+		// globally tied ---
+		learnG, err := groundLearning(prep, shared, o.MaxScanCounterparts)
+		if err != nil {
+			return nil, nil, err
+		}
+		res.Stats.CompileTime = prep.Timings.Compile + time.Since(tg)
+		res.Stats.Variables = learnG.Stats.Variables
+		res.Stats.QueryVars = learnG.Stats.QueryVars
+		res.Stats.EvidenceVars = learnG.Stats.EvidenceVars
+		res.Stats.Factors = learnG.Graph.NumFactors()
+		res.Stats.PaperFactors = learnG.Stats.PaperFactors
+
+		tLearn := time.Now()
+		epochs := o.LearningEpochs
+		if epochs <= 0 {
+			epochs = 10
+		}
+		lr := o.LearningRate
+		if lr == 0 {
+			lr = 0.1
+		}
+		learn.Learn(learnG.Graph, learn.Config{Epochs: epochs, LearningRate: lr, L2: o.L2, Seed: o.Seed})
+		res.Stats.LearnTime = time.Since(tLearn)
+		learned = learnedWeights(learnG.Graph)
+		learnKeys = learnG.Graph.Weights.Keys
 	}
-	learn.Learn(learnG.Graph, learn.Config{Epochs: epochs, LearningRate: lr, L2: o.L2, Seed: o.Seed})
-	res.Stats.LearnTime = time.Since(tLearn)
 
 	// --- Per-shard grounding and inference on the worker pool ---
 	repaired := ds.Clone()
-	runner := newShardRunner(prep, o, shared, learnedWeights(learnG.Graph), res, repaired)
-	for _, k := range learnG.Graph.Weights.Keys {
+	runner := newShardRunner(prep, o, shared, learned, res, repaired)
+	for _, k := range learnKeys {
 		runner.weightKeys[k] = true
 	}
-	if err := runner.runAll(plan, workers); err != nil {
-		return nil, err
+	if injected != nil {
+		// The injected map is part of the model even when reused shards
+		// never re-ground its keys; count it so Stats.Weights agrees
+		// between an incremental reclean and the equivalent full run.
+		for k := range injected {
+			runner.weightKeys[k] = true
+		}
+	}
+	// Carry cached results forward for the cells the delta never touched:
+	// their model is provably identical (same row, same candidates, same
+	// statistics contexts, same counterpart joins, same weights, same
+	// chain seed), so their marginals and MAP repair are too. Cells whose
+	// candidate set is empty had no variable in either run and need no
+	// cache entry.
+	for _, i := range reusedCells {
+		c := prep.Domains.Cells[i]
+		out, ok := inc.outcomes[c]
+		if !ok {
+			continue
+		}
+		dist := append([]ValueProb(nil), out.dist...)
+		res.Marginals[c] = dist
+		runner.outcomes[c] = cellOutcome{dist: dist, mapVal: out.mapVal, prob: out.prob}
+		if out.mapVal != ds.Get(c.Tuple, c.Attr) {
+			repaired.Set(c.Tuple, c.Attr, out.mapVal)
+			res.Repairs = append(res.Repairs, Repair{
+				Cell:        c,
+				Attr:        ds.AttrName(c.Attr),
+				Tuple:       c.Tuple,
+				Old:         ds.GetString(c.Tuple, c.Attr),
+				New:         ds.Dict().String(out.mapVal),
+				Probability: out.prob,
+			})
+		}
+	}
+	if err := runner.runAll(execPlan, workers); err != nil {
+		return nil, nil, err
 	}
 	res.Stats.CompileTime += runner.groundTime
 	res.Stats.InferTime = runner.inferTime
 	res.Stats.Weights = len(runner.weightKeys)
+	res.LearnedWeights = make(map[string]float64, len(learned))
+	for k, v := range learned {
+		res.LearnedWeights[k] = v
+	}
 
 	sort.Slice(res.Repairs, func(i, j int) bool {
 		if res.Repairs[i].Tuple != res.Repairs[j].Tuple {
@@ -405,5 +600,5 @@ func (cl *Cleaner) Clean(ds *Dataset, constraints []*Constraint) (*Result, error
 	})
 	res.Repaired = repaired
 	res.Stats.TotalTime = time.Since(start)
-	return res, nil
+	return res, &cleanArtifacts{prep: prep, shared: shared, runner: runner, plan: plan}, nil
 }

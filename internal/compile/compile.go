@@ -108,6 +108,23 @@ type Options struct {
 	// loop): they are removed from the noisy set regardless of detection
 	// and force-included as evidence, so learning treats them as labels.
 	Trusted []dataset.Cell
+
+	// Detection, when non-nil, supplies a precomputed detection result
+	// and skips running Detectors; Hypergraph carries the matching
+	// conflict hypergraph. Incremental sessions run scoped detection
+	// themselves and hand the result in.
+	Detection  *errordetect.Result
+	Hypergraph *violation.Hypergraph
+	// Stats and MaskedStats, when non-nil, replace the full statistics
+	// passes (Collect and the clean-cell CollectFiltered): incremental
+	// sessions delta-maintain both with stats.Apply. MaskedStats is only
+	// consulted when co-occurrence features are enabled.
+	Stats       *stats.Stats
+	MaskedStats *stats.Stats
+	// SkipEvidence skips clean-cell evidence sampling. Safe only when no
+	// learning will run on the resulting model (weights are injected),
+	// since the per-shard graphs never hold evidence variables anyway.
+	SkipEvidence bool
 }
 
 // DefaultOptions returns the paper's defaults: τ=0.5, relaxed constraints,
@@ -160,10 +177,14 @@ type Prepared struct {
 	// connected components define the pipeline shards.
 	Hypergraph *violation.Hypergraph
 	Stats      *stats.Stats
-	Domains    *pruning.Domains
-	Matches    []extdict.Match
-	Groups     []partition.Group
-	Program    *ddlog.Program
+	// MaskedStats are the clean-cell statistics feeding the soft
+	// co-occurrence features (nil when those are disabled). Incremental
+	// sessions cache them and delta-maintain them across recleans.
+	MaskedStats *stats.Stats
+	Domains     *pruning.Domains
+	Matches     []extdict.Match
+	Groups      []partition.Group
+	Program     *ddlog.Program
 	// DB is the fully wired database for a monolithic grounding; shard
 	// runners copy it and narrow Domains/Evidence/Matches per shard.
 	DB      *ddlog.Database
@@ -241,13 +262,18 @@ func Prepare(ds *dataset.Dataset, constraints []*dc.Constraint, opts Options) (*
 			}
 		}
 	}
-	detection, err := errordetect.Run(ds, detectors...)
-	if err != nil {
-		return nil, err
+	detection := opts.Detection
+	if detection == nil {
+		var err error
+		detection, err = errordetect.Run(ds, detectors...)
+		if err != nil {
+			return nil, err
+		}
 	}
 	out.Detection = detection
 	out.Timings.Detect = time.Since(t0)
-	if violDet != nil {
+	out.Hypergraph = opts.Hypergraph
+	if out.Hypergraph == nil && violDet != nil {
 		out.Hypergraph = violDet.LastHypergraph
 	}
 
@@ -269,7 +295,10 @@ func Prepare(ds *dataset.Dataset, constraints []*dc.Constraint, opts Options) (*
 
 	// --- Compilation (Figure 2, module 2) ---
 	t1 := time.Now()
-	st := stats.Collect(ds)
+	st := opts.Stats
+	if st == nil {
+		st = stats.Collect(ds)
+	}
 	out.Stats = st
 
 	domains := pruning.Compute(ds, st, noisy, pruning.Config{
@@ -304,7 +333,11 @@ func Prepare(ds *dataset.Dataset, constraints []*dc.Constraint, opts Options) (*
 		}
 	}
 
-	evidence, evidenceDomains := sampleEvidence(ds, st, detection, noisy, opts)
+	var evidence []dataset.Cell
+	var evidenceDomains [][]dataset.Value
+	if !opts.SkipEvidence {
+		evidence, evidenceDomains = sampleEvidence(ds, st, detection, noisy, opts)
+	}
 
 	dictPrior := opts.DictionaryPrior
 	if dictPrior == 0 {
@@ -333,9 +366,13 @@ func Prepare(ds *dataset.Dataset, constraints []*dc.Constraint, opts Options) (*
 		// Clean-cell statistics: co-occurrences where either cell was
 		// flagged noisy are discounted, so self-consistent systematic
 		// errors cannot vouch for themselves.
-		masked := stats.CollectFiltered(ds, func(t, a int) bool {
-			return detection.IsNoisy(dataset.Cell{Tuple: t, Attr: a})
-		})
+		masked := opts.MaskedStats
+		if masked == nil {
+			masked = stats.CollectFiltered(ds, func(t, a int) bool {
+				return detection.IsNoisy(dataset.Cell{Tuple: t, Attr: a})
+			})
+		}
+		out.MaskedStats = masked
 		softs = append(softs, softFeatureFunc(ds, st, masked))
 	}
 	if !opts.DisableSourceFeatures && ds.HasSources() {

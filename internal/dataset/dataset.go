@@ -151,6 +151,20 @@ func (ds *Dataset) AppendValues(row []Value) int {
 	return len(ds.rows) - 1
 }
 
+// DeleteSwap removes tuple t by moving the last tuple into its slot and
+// shrinking the relation by one. Only the moved tuple is renumbered, which
+// bounds the invalidation an incremental cleaning session has to do for a
+// deletion; callers that depend on tuple order must not use it.
+func (ds *Dataset) DeleteSwap(t int) {
+	last := len(ds.rows) - 1
+	ds.rows[t] = ds.rows[last]
+	ds.rows = ds.rows[:last]
+	if len(ds.sources) > 0 {
+		ds.sources[t] = ds.sources[last]
+		ds.sources = ds.sources[:last]
+	}
+}
+
 // Get returns the interned value of cell t[a].
 func (ds *Dataset) Get(t, a int) Value { return ds.rows[t][a] }
 

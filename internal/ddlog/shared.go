@@ -35,6 +35,25 @@ func NewSharedIndex(ds *dataset.Dataset, domains *pruning.Domains) *SharedIndex 
 	}
 }
 
+// Rebind points the index at a mutated dataset and refreshed domains,
+// dropping the cached per-attribute indexes named in dirtyAttrs and
+// keeping the rest. An attribute's indexes may be kept only when nothing
+// they were built from changed: no tuple's initial value on the
+// attribute, no noisy cell's candidate set on it, and — because appends
+// and deletions add or remove bucket entries in every attribute — the
+// tuple count. Incremental cleaning sessions call this once per reclean
+// so the O(|D|) index builds of untouched attributes survive the delta.
+func (s *SharedIndex) Rebind(ds *dataset.Dataset, domains *pruning.Domains, dirtyAttrs map[int]bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ds = ds
+	s.domains = domains
+	for a := range dirtyAttrs {
+		delete(s.init, a)
+		delete(s.cand, a)
+	}
+}
+
 // Init returns the initial-value index of attr: value → tuples whose cell
 // (t, attr) initially holds that value. Nulls are excluded.
 func (s *SharedIndex) Init(attr int) map[dataset.Value][]int {

@@ -76,6 +76,17 @@ func Run(ds *dataset.Dataset, detectors ...Detector) (*Result, error) {
 type Violations struct {
 	Constraints []*dc.Constraint
 
+	// Changed, when non-nil, switches Detect into delta mode:
+	// instead of evaluating every tuple pair, detection keeps Prev's
+	// violations among tuples outside Changed and re-detects only the
+	// pairs that join a changed tuple with its index-reachable
+	// counterparts (violation.Detector.DetectDelta). Incremental cleaning
+	// sessions use this to re-run detection in time proportional to the
+	// delta plus one hash pass over each constraint's join columns; the
+	// output is identical to a full detection of the mutated dataset.
+	Prev    []violation.Violation
+	Changed map[int]bool
+
 	// LastHypergraph, when non-nil after Detect, is the conflict
 	// hypergraph of the detected violations, reusable by partitioning and
 	// by the Holistic baseline without re-running detection.
@@ -92,7 +103,12 @@ func (v *Violations) Detect(ds *dataset.Dataset) ([]dataset.Cell, error) {
 	if err != nil {
 		return nil, err
 	}
-	viols := det.Detect()
+	var viols []violation.Violation
+	if v.Changed != nil {
+		viols = det.DetectDelta(v.Prev, v.Changed)
+	} else {
+		viols = det.Detect()
+	}
 	h := violation.BuildHypergraph(det, viols)
 	v.LastHypergraph = h
 	v.LastDetector = det

@@ -220,13 +220,18 @@ func Exact(g *factor.Graph) *factor.Marginals {
 	return m
 }
 
-// sampleSoftmax draws an index proportionally to exp(scores).
+// sampleSoftmax draws an index proportionally to exp(scores). When every
+// score is -Inf the softmax is degenerate (-Inf - -Inf is NaN); the draw
+// falls back to uniform instead of propagating NaN weights.
 func sampleSoftmax(rng *rand.Rand, scores []float64) int {
 	maxS := math.Inf(-1)
 	for _, s := range scores {
 		if s > maxS {
 			maxS = s
 		}
+	}
+	if math.IsInf(maxS, -1) {
+		return rng.Intn(len(scores))
 	}
 	var z float64
 	for _, s := range scores {
@@ -243,13 +248,20 @@ func sampleSoftmax(rng *rand.Rand, scores []float64) int {
 	return len(scores) - 1
 }
 
-// softmaxInPlace turns scores into probabilities.
+// softmaxInPlace turns scores into probabilities. An all--Inf input (no
+// candidate is feasible) yields the uniform distribution rather than NaN.
 func softmaxInPlace(scores []float64) {
 	maxS := math.Inf(-1)
 	for _, s := range scores {
 		if s > maxS {
 			maxS = s
 		}
+	}
+	if math.IsInf(maxS, -1) {
+		for i := range scores {
+			scores[i] = 1 / float64(len(scores))
+		}
+		return
 	}
 	var z float64
 	for i, s := range scores {

@@ -1,0 +1,44 @@
+package partition
+
+import (
+	"testing"
+
+	"holoclean/internal/dataset"
+)
+
+func TestTouched(t *testing.T) {
+	comps := [][]int{{0, 1, 2}, {5, 6}, {9}}
+	got := Touched(comps, map[int]bool{1: true, 9: true})
+	want := []bool{true, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Touched[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	for i, v := range Touched(comps, nil) {
+		if v {
+			t.Errorf("empty dirty set touched component %d", i)
+		}
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	a := []dataset.Cell{{Tuple: 1, Attr: 2}, {Tuple: 36, Attr: 0}}
+	if Fingerprint(a) != Fingerprint(a) {
+		t.Errorf("fingerprint not stable")
+	}
+	b := []dataset.Cell{{Tuple: 1, Attr: 2}, {Tuple: 36, Attr: 1}}
+	if Fingerprint(a) == Fingerprint(b) {
+		t.Errorf("different cell sets share a fingerprint")
+	}
+	// Base-36 rendering must not let (tuple, attr) pairs collide across
+	// boundaries: {12, 3} vs {1, 23} style ambiguity.
+	c := []dataset.Cell{{Tuple: 12, Attr: 3}}
+	d := []dataset.Cell{{Tuple: 1, Attr: 23}}
+	if Fingerprint(c) == Fingerprint(d) {
+		t.Errorf("boundary ambiguity in fingerprint")
+	}
+	if Fingerprint(nil) != "" {
+		t.Errorf("empty fingerprint should be empty")
+	}
+}

@@ -43,6 +43,16 @@ type Config struct {
 	FullDomain bool
 }
 
+// NewDomains builds a Domains from parallel cell and candidate slices,
+// wiring the cell index Compute would have built.
+func NewDomains(cells []dataset.Cell, candidates [][]dataset.Value) *Domains {
+	d := &Domains{Cells: cells, Candidates: candidates, index: make(map[dataset.Cell]int, len(cells))}
+	for i, c := range cells {
+		d.index[c] = i
+	}
+	return d
+}
+
 // Compute runs Algorithm 2 for the given noisy cells.
 func Compute(ds *dataset.Dataset, st *stats.Stats, noisy []dataset.Cell, cfg Config) *Domains {
 	d := &Domains{

@@ -1,0 +1,125 @@
+package violation
+
+import (
+	"sort"
+
+	"holoclean/internal/dataset"
+	"holoclean/internal/dc"
+)
+
+// DetectDelta recomputes violation detection after a batch of tuple
+// changes without re-evaluating untouched tuple pairs. prev is the
+// violation list of the previous detection run (over the pre-mutation
+// dataset) and changed the set of tuple indexes whose content is new:
+// updated in place, appended, or renumbered by a swap-delete. The
+// detector must be bound against the *mutated* dataset.
+//
+// Violations among unchanged tuples cannot appear or disappear, so they
+// are carried forward from prev; every violation touching a changed tuple
+// is dropped and re-detected by joining the changed tuples against their
+// index-reachable counterparts (the hash buckets full detection would
+// probe). Prev entries referencing tuples beyond the new relation size
+// (the old slot of a swap-deleted last tuple) are dropped too. The result
+// is exactly Detect()'s output: same set, same per-constraint (T1, T2)
+// order.
+func (d *Detector) DetectDelta(prev []Violation, changed map[int]bool) []Violation {
+	n := d.ds.NumTuples()
+	kept := make([][]Violation, len(d.bounds))
+	for _, v := range prev {
+		if v.T1 >= n || v.T2 >= n || changed[v.T1] || (v.T2 >= 0 && changed[v.T2]) {
+			continue
+		}
+		kept[v.Constraint] = append(kept[v.Constraint], v)
+	}
+	order := make([]int, 0, len(changed))
+	for t := range changed {
+		if t < n {
+			order = append(order, t)
+		}
+	}
+	sort.Ints(order)
+	var out []Violation
+	for ci, b := range d.bounds {
+		merged := append(kept[ci], d.detectAround(ci, b, order, changed)...)
+		sort.Slice(merged, func(i, j int) bool {
+			if merged[i].T1 != merged[j].T1 {
+				return merged[i].T1 < merged[j].T1
+			}
+			return merged[i].T2 < merged[j].T2
+		})
+		out = append(out, merged...)
+	}
+	return out
+}
+
+// detectAround finds the violations of one constraint that involve at
+// least one changed tuple, applying the same canonical-orientation rule
+// as full detection (a pair violating in both orientations is reported
+// as (min, max) only).
+func (d *Detector) detectAround(ci int, b *dc.Bound, order []int, changed map[int]bool) []Violation {
+	var out []Violation
+	if b.TupleVars == 1 {
+		for _, t := range order {
+			if b.Violates(t, -1) {
+				out = append(out, Violation{Constraint: ci, T1: t, T2: -1})
+			}
+		}
+		return out
+	}
+	check := func(t1, t2 int) {
+		if t1 == t2 || !b.Violates(t1, t2) {
+			return
+		}
+		if t1 > t2 && b.Violates(t2, t1) {
+			return // canonical orientation already reported
+		}
+		out = append(out, Violation{Constraint: ci, T1: t1, T2: t2})
+	}
+	if len(order) == 0 {
+		return nil
+	}
+	if joins := b.EqualityJoinAttrs(); len(joins) > 0 {
+		leftAttr, rightAttr := joins[0][0], joins[0][1]
+		// The same hash buckets full detection probes: tuples by their
+		// right-role join value, and — for the reverse direction — by
+		// their left-role join value. This is one O(|D|) pass over the
+		// two join columns per constraint (pair evaluation, the expensive
+		// part of detection, stays proportional to the delta).
+		byRight := make(map[dataset.Value][]int)
+		byLeft := make(map[dataset.Value][]int)
+		for t := 0; t < d.ds.NumTuples(); t++ {
+			if v := d.ds.Get(t, rightAttr); v != dataset.Null {
+				byRight[v] = append(byRight[v], t)
+			}
+			if v := d.ds.Get(t, leftAttr); v != dataset.Null {
+				byLeft[v] = append(byLeft[v], t)
+			}
+		}
+		for _, t1 := range order {
+			if v := d.ds.Get(t1, leftAttr); v != dataset.Null {
+				for _, t2 := range byRight[v] {
+					check(t1, t2)
+				}
+			}
+			if v := d.ds.Get(t1, rightAttr); v != dataset.Null {
+				for _, t0 := range byLeft[v] {
+					if !changed[t0] { // both-changed pairs already probed above
+						check(t0, t1)
+					}
+				}
+			}
+		}
+		return out
+	}
+	// No equality join: scan the changed tuples against everything.
+	n := d.ds.NumTuples()
+	for _, t1 := range order {
+		for t2 := 0; t2 < n; t2++ {
+			check(t1, t2)
+			if !changed[t2] {
+				check(t2, t1)
+			}
+		}
+	}
+	return out
+}

@@ -33,6 +33,27 @@ import (
 // shards are just load-balanced, tuple-aligned batches.
 type shard struct {
 	cells []int // indices into Domains.Cells, ascending
+	// component marks shards cut along a conflict-hypergraph component
+	// (as opposed to load-balanced batches of independent cells). Only
+	// component shards may take the closed-form singleton fast path:
+	// batch boundaries are a scheduling artifact, so a cell's inference
+	// path — and with it its marginal — must not depend on them, which is
+	// what lets incremental re-cleaning re-batch only the dirty cells.
+	component bool
+}
+
+// fingerprint identifies the shard's composition (cells plus cut kind)
+// for cross-run reuse checks.
+func (sh shard) fingerprint(cells []dataset.Cell) string {
+	sc := make([]dataset.Cell, len(sh.cells))
+	for k, i := range sh.cells {
+		sc[k] = cells[i]
+	}
+	kind := "b|"
+	if sh.component {
+		kind = "c|"
+	}
+	return kind + partition.Fingerprint(sc)
 }
 
 // cellBatch bounds shards formed by batching independent cells: the
@@ -63,7 +84,7 @@ func planShards(prep *compile.Prepared, coupled bool) []shard {
 		// Correlation factors with no observed violations to partition
 		// by: keep one shard so the grounded model matches the monolithic
 		// one instead of dropping hypothetical cross-batch pairs.
-		return []shard{{cells: all}}
+		return []shard{{cells: all, component: true}}
 	}
 	if !coupled {
 		return batchByTuple(dom.Cells, all, cellBatch)
@@ -87,11 +108,54 @@ func planShards(prep *compile.Prepared, coupled bool) []shard {
 	var out []shard
 	for _, cells := range byComp {
 		if len(cells) > 0 {
-			out = append(out, shard{cells: cells})
+			out = append(out, shard{cells: cells, component: true})
 		}
 	}
 	out = append(out, batchByTuple(dom.Cells, stray, cellBatch)...)
 	return out
+}
+
+// splitPlan is the shard planner's dirty-set mode: given the full plan a
+// from-scratch run would execute and the set of tuples invalidated by a
+// delta, it returns the shards that must actually run plus the cell
+// indices whose cached results can be carried forward.
+//
+// When rebatch is true (the independent-variable regime with per-variable
+// chains or closed-form inference, where a cell's marginal does not
+// depend on which batch it lands in), the dirty cells are re-packed into
+// fresh tuple-aligned batches and every clean cell is reused — the
+// sharpest possible invalidation. Otherwise shards are reused wholesale,
+// and only when their composition matches a fingerprint of the previous
+// plan (prevSigs): sequential Gibbs sweeps and component grounding depend
+// on the shard's full membership, so a component that merged, split, or
+// re-batched must re-run even if its own tuples never changed.
+func splitPlan(plan []shard, cells []dataset.Cell, dirty map[int]bool, rebatch bool, prevSigs map[string]bool) (exec []shard, reused []int) {
+	if rebatch {
+		var dirtyIdx []int
+		for _, sh := range plan {
+			for _, i := range sh.cells {
+				if dirty[cells[i].Tuple] {
+					dirtyIdx = append(dirtyIdx, i)
+				} else {
+					reused = append(reused, i)
+				}
+			}
+		}
+		return batchByTuple(cells, dirtyIdx, cellBatch), reused
+	}
+	for _, sh := range plan {
+		tuples := make([]int, len(sh.cells))
+		for k, i := range sh.cells {
+			tuples[k] = cells[i].Tuple
+		}
+		touched := partition.Touched([][]int{tuples}, dirty)[0]
+		if touched || !prevSigs[sh.fingerprint(cells)] {
+			exec = append(exec, sh)
+			continue
+		}
+		reused = append(reused, sh.cells...)
+	}
+	return exec, reused
 }
 
 // batchByTuple packs cell indices into shards of roughly target cells,
@@ -156,6 +220,62 @@ func learnedWeights(g *factor.Graph) map[string]float64 {
 	return out
 }
 
+// cellOutcome is the cached inference result of one noisy cell: its
+// marginal distribution, MAP label, and MAP probability. Incremental
+// sessions carry outcomes of clean cells forward across recleans.
+type cellOutcome struct {
+	dist   []ValueProb
+	mapVal dataset.Value
+	prob   float64
+}
+
+// chainSeed derives the Gibbs chain seed of a cell from its identity
+// (tuple, attribute) rather than its rank among the query variables.
+// Rank-based seeding had two defects: it indexed the per-variable seed
+// slice by graph-variable id while ranks counted query variables only
+// (mis-seeding or panicking on graphs that also hold evidence variables),
+// and a single inserted or removed noisy cell shifted every later rank —
+// re-seeding, and therefore re-sampling, the entire tail of the dataset
+// on any delta. Identity seeds are stable under both.
+func chainSeed(base int64, c dataset.Cell, numAttrs int) int64 {
+	return base + (int64(c.Tuple)*int64(numAttrs)+int64(c.Attr)+1)*1_000_003
+}
+
+// resolveGibbs resolves the sampling budget. GibbsSamples <= 0 falls back
+// to the default 50 (zero samples would make marginals undefined), while
+// GibbsBurnIn is taken literally: zero means zero sweeps discarded, and
+// only negative values clamp to zero. Earlier versions silently coerced
+// a zero burn-in to 10, making an explicit zero unrequestable.
+func resolveGibbs(o Options) (burnIn, samples int) {
+	burnIn = o.GibbsBurnIn
+	if burnIn < 0 {
+		burnIn = 0
+	}
+	samples = o.GibbsSamples
+	if samples <= 0 {
+		samples = 50
+	}
+	return burnIn, samples
+}
+
+// parallelVarSeeds builds the per-variable chain seeds of a grounded
+// graph, indexed by graph variable id. Evidence variables (present on
+// graphs that ground dictionary-match or learning evidence) run no chain
+// and keep a zero entry; query variables are seeded by the identity of
+// the cell they repair. An earlier version indexed a query-rank array by
+// variable id, which panicked or mis-seeded as soon as a graph held
+// evidence variables — the regression test grounds such a mixed graph.
+func parallelVarSeeds(g *ddlog.Grounded, base int64, numAttrs int) []int64 {
+	vs := make([]int64, len(g.Graph.Vars))
+	for vi := range g.Graph.Vars {
+		if g.Graph.Vars[vi].Evidence {
+			continue
+		}
+		vs[vi] = chainSeed(base, g.Cells[vi], numAttrs)
+	}
+	return vs
+}
+
 // shardRunner executes the per-shard ground → tie weights → infer →
 // extract pipeline over a bounded worker pool and merges the results.
 type shardRunner struct {
@@ -164,12 +284,6 @@ type shardRunner struct {
 	shared  *ddlog.SharedIndex
 	learned map[string]float64
 
-	// globalIdx[i] is the query-variable rank cell Domains.Cells[i] has
-	// in a monolithic grounding (-1 when its candidate set is empty and
-	// no variable exists). Per-variable chain seeds derive from it, so
-	// sharded Gibbs marginals in the independent regime are bit-identical
-	// to monolithic ones for every worker count.
-	globalIdx    []int
 	queryAttrs   map[int]map[int]bool
 	matchByTuple map[int][]extdict.Match
 
@@ -177,6 +291,7 @@ type shardRunner struct {
 	res        *Result
 	repaired   *Dataset
 	weightKeys map[string]bool
+	outcomes   map[dataset.Cell]cellOutcome
 	groundTime time.Duration
 	inferTime  time.Duration
 }
@@ -187,21 +302,17 @@ func newShardRunner(prep *compile.Prepared, opts Options, shared *ddlog.SharedIn
 		opts:         opts,
 		shared:       shared,
 		learned:      learned,
-		globalIdx:    make([]int, len(prep.Domains.Cells)),
 		queryAttrs:   make(map[int]map[int]bool),
 		matchByTuple: make(map[int][]extdict.Match),
 		res:          res,
 		repaired:     repaired,
 		weightKeys:   make(map[string]bool),
+		outcomes:     make(map[dataset.Cell]cellOutcome),
 	}
-	rank := 0
 	for i, cands := range prep.Domains.Candidates {
 		if len(cands) == 0 {
-			r.globalIdx[i] = -1
 			continue
 		}
-		r.globalIdx[i] = rank
-		rank++
 		c := prep.Domains.Cells[i]
 		if r.queryAttrs[c.Tuple] == nil {
 			r.queryAttrs[c.Tuple] = make(map[int]bool)
@@ -271,7 +382,6 @@ func (r *shardRunner) runOne(sh shard) error {
 	cands := make([][]dataset.Value, 0, len(sh.cells))
 	inShard := make(map[int]bool)
 	var matches []extdict.Match
-	gidx := make([]int64, 0, len(sh.cells)) // local query var → global rank
 	for _, i := range sh.cells {
 		c := prep.Domains.Cells[i]
 		cells = append(cells, c)
@@ -279,9 +389,6 @@ func (r *shardRunner) runOne(sh shard) error {
 		if !inShard[c.Tuple] {
 			inShard[c.Tuple] = true
 			matches = append(matches, r.matchByTuple[c.Tuple]...)
-		}
-		if r.globalIdx[i] >= 0 {
-			gidx = append(gidx, int64(r.globalIdx[i]))
 		}
 	}
 	db := *prep.DB
@@ -308,34 +415,27 @@ func (r *shardRunner) runOne(sh shard) error {
 	}
 	groundDur := time.Since(tg)
 
-	// Inference: singleton nary-free shards take the closed-form fast
-	// path; independent-regime shards sample per-variable chains seeded
-	// by global variable identity; correlated shards run sequential Gibbs
-	// seeded by the shard's first global variable, stable across pools.
+	// Inference: singleton nary-free component shards take the
+	// closed-form fast path; independent-regime shards sample
+	// per-variable chains seeded by cell identity, so a cell's marginal
+	// never depends on which batch it lands in; correlated shards run
+	// sequential Gibbs seeded by the shard's first cell, stable across
+	// pools and deltas.
 	ti := time.Now()
+	numAttrs := prep.DS.NumAttrs()
 	hasNary := g.Graph.HasNaryOnQuery()
 	singleton := g.Stats.QueryVars == 1
 	var m *factor.Marginals
-	if !hasNary && (singleton || o.ExactInference) {
+	if !hasNary && (o.ExactInference || (singleton && sh.component)) {
 		m = gibbs.Exact(g.Graph)
 	} else {
-		burn, samp := o.GibbsBurnIn, o.GibbsSamples
-		if samp <= 0 {
-			samp = 50
-		}
-		if burn <= 0 {
-			burn = 10
-		}
+		burn, samp := resolveGibbs(o)
 		cfg := gibbs.Config{BurnIn: burn, Samples: samp, Seed: o.Seed, Parallel: o.ParallelInference}
-		if len(gidx) > 0 {
-			cfg.Seed = o.Seed + gidx[0]*7919
+		if len(cells) > 0 {
+			cfg.Seed = o.Seed + (int64(cells[0].Tuple)*int64(numAttrs)+int64(cells[0].Attr)+1)*7919
 		}
 		if !hasNary && o.ParallelInference {
-			vs := make([]int64, len(g.Graph.Vars))
-			for vi := range vs {
-				vs[vi] = o.Seed + gidx[vi]*1_000_003
-			}
-			cfg.VarSeed = vs
+			cfg.VarSeed = parallelVarSeeds(g, o.Seed, numAttrs)
 		}
 		m = gibbs.Run(g.Graph, cfg)
 	}
@@ -350,7 +450,7 @@ func (r *shardRunner) runOne(sh shard) error {
 	r.inferTime += inferDur
 	r.res.Stats.Factors += g.Graph.NumFactors()
 	r.res.Stats.PaperFactors += g.Stats.PaperFactors
-	if singleton && !hasNary {
+	if singleton && !hasNary && sh.component {
 		r.res.Stats.SingletonShards++
 	}
 	for _, k := range w.Keys {
@@ -368,6 +468,7 @@ func (r *shardRunner) runOne(sh shard) error {
 
 		mapIdx, p := m.MAP(v)
 		newLabel := dataset.Value(dom[mapIdx])
+		r.outcomes[c] = cellOutcome{dist: dist, mapVal: newLabel, prob: p}
 		if newLabel != ds.Get(c.Tuple, c.Attr) {
 			r.repaired.Set(c.Tuple, c.Attr, newLabel)
 			r.res.Repairs = append(r.res.Repairs, Repair{
