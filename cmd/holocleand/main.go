@@ -1,0 +1,63 @@
+// Command holocleand serves the HoloClean pipeline over HTTP: a
+// multi-tenant cleaning service where each session wraps one dataset
+// under continuous incremental cleaning (see package serve).
+//
+//	holocleand -addr :8080
+//
+// Quickstart against a running server:
+//
+//	curl -F data=@dirty.csv -F dcs=@constraints.txt localhost:8080/sessions
+//	curl localhost:8080/sessions/s1/review?threshold=0.9
+//
+// Tuning:
+//
+//	-max-jobs N      heavy pipeline jobs running concurrently (default 2)
+//	-queue-depth N   jobs allowed to wait beyond the running ones; more
+//	                 get 429 + Retry-After (default 8)
+//	-workers N       shard workers per job (default GOMAXPROCS/max-jobs)
+//	-idle-timeout D  evict sessions idle for D to snapshots (0 disables)
+//	-snapshot-dir P  persist snapshots under P and reload them on boot
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"holoclean/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "shard worker-pool size per job (0 = fair share of all CPUs)")
+		maxJobs     = flag.Int("max-jobs", 2, "max heavy pipeline jobs running concurrently")
+		queueDepth  = flag.Int("queue-depth", 8, "max jobs waiting beyond the running ones before 429")
+		idleTimeout = flag.Duration("idle-timeout", 15*time.Minute, "evict sessions idle this long (0 = never)")
+		snapshotDir = flag.String("snapshot-dir", "", "directory for eviction snapshots (empty = in-memory)")
+		maxUpload   = flag.Int64("max-upload", 32<<20, "max request body bytes")
+	)
+	flag.Parse()
+
+	if *snapshotDir != "" {
+		if err := os.MkdirAll(*snapshotDir, 0o755); err != nil {
+			log.Fatalf("holocleand: creating snapshot dir: %v", err)
+		}
+	}
+	sv := serve.New(serve.Config{
+		Workers:           *workers,
+		MaxConcurrentJobs: *maxJobs,
+		QueueDepth:        *queueDepth,
+		IdleTimeout:       *idleTimeout,
+		SnapshotDir:       *snapshotDir,
+		MaxUploadBytes:    *maxUpload,
+		Logf:              log.Printf,
+	})
+	defer sv.Close()
+	log.Printf("holocleand: listening on %s (max-jobs %d, queue %d)", *addr, *maxJobs, *queueDepth)
+	if err := http.ListenAndServe(*addr, sv); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -312,6 +312,15 @@ type Result struct {
 func (r *Result) MarginalOf(c Cell) []ValueProb { return r.Marginals[c] }
 
 // Cleaner runs the HoloClean pipeline with fixed options.
+//
+// Concurrency contract: a Cleaner holds no mutable state, so concurrent
+// Clean calls on distinct datasets are safe. Calls sharing one Dataset
+// (or clones of it — Clone shares the value dictionary) are NOT safe to
+// run concurrently: the pipeline interns constraint constants, match
+// values, and confirmed feedback values into that shared dictionary.
+// Session (stateful, incremental) must be fully serialized — see its
+// documentation and the serve package, which locks each Session behind
+// a per-tenant mutex and publishes dictionary-free read views.
 type Cleaner struct {
 	opts Options
 	// trusted carries user-confirmed cells from CleanWithFeedback.

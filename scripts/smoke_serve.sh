@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Smoke test for the HTTP serving layer: build holocleand and datagen,
+# generate the hospital workload, then drive the full lifecycle over
+# HTTP — create session, delta batch, review queue, feedback — failing
+# on any non-2xx response or an empty repair list. CI runs this; it also
+# works locally from the repo root: ./scripts/smoke_serve.sh
+set -euo pipefail
+
+addr="127.0.0.1:${SMOKE_PORT:-8097}"
+base="http://$addr"
+workdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+  [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== building holocleand and datagen"
+go build -o "$workdir/holocleand" ./cmd/holocleand
+go build -o "$workdir/datagen" ./cmd/datagen
+
+echo "== generating hospital workload"
+(cd "$workdir" && ./datagen -dataset hospital -tuples 300 -seed 1 -out hospital)
+test -s "$workdir/hospital_dirty.csv"
+test -s "$workdir/hospital_constraints.txt"
+
+echo "== starting holocleand on $addr"
+"$workdir/holocleand" -addr "$addr" -max-jobs 2 -queue-depth 8 &
+server_pid=$!
+
+up=""
+for _ in $(seq 1 50); do
+  if curl -fsS "$base/healthz" >/dev/null 2>&1; then up=1; break; fi
+  sleep 0.2
+done
+[ -n "$up" ] || { echo "FAIL: server did not come up"; exit 1; }
+
+# jget <json> <intfield> / sget <json> <strfield>: minimal JSON field
+# extraction so the script has no jq dependency.
+jget() { printf '%s' "$1" | sed -n "s/.*\"$2\":\([0-9][0-9]*\).*/\1/p"; }
+sget() { printf '%s' "$1" | sed -n "s/.*\"$2\":\"\([^\"]*\)\".*/\1/p"; }
+
+echo "== create session (multipart upload: CSV + denial constraints)"
+created=$(curl -fsS \
+  -F data=@"$workdir/hospital_dirty.csv" \
+  -F dcs=@"$workdir/hospital_constraints.txt" \
+  -F name=smoke -F seed=1 \
+  "$base/sessions")
+id=$(sget "$created" id)
+repairs=$(jget "$created" repairs)
+[ -n "$id" ] || { echo "FAIL: no session id in $created"; exit 1; }
+[ -n "$repairs" ] && [ "$repairs" -gt 0 ] || { echo "FAIL: empty repairs after create: $created"; exit 1; }
+echo "   session $id: $repairs repairs"
+
+echo "== delta batch (coalesced into one incremental reclean)"
+delta=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d '{"ops":[{"op":"delete","row":3},{"op":"delete","row":17}]}' \
+  "$base/sessions/$id/deltas")
+applied=$(jget "$delta" applied)
+[ "$applied" = "2" ] || { echo "FAIL: delta applied=$applied: $delta"; exit 1; }
+echo "   reclean: shards=$(jget "$delta" shards) reused=$(jget "$delta" shards_reused)"
+
+echo "== review queue"
+review=$(curl -fsS "$base/sessions/$id/review?threshold=1.01&limit=1")
+total=$(jget "$review" total)
+[ -n "$total" ] && [ "$total" -gt 0 ] || { echo "FAIL: empty review queue: $review"; exit 1; }
+tuple=$(printf '%s' "$review" | sed -n 's/.*"items":\[{"tuple":\([0-9]*\),.*/\1/p')
+attr=$(printf '%s' "$review" | sed -n 's/.*"items":\[{"tuple":[0-9]*,"attr":"\([^"]*\)".*/\1/p')
+value=$(printf '%s' "$review" | sed -n 's/.*"items":\[{[^}]*"new":"\([^"]*\)".*/\1/p')
+[ -n "$tuple" ] && [ -n "$attr" ] && [ -n "$value" ] || { echo "FAIL: cannot parse review item: $review"; exit 1; }
+# Escape backslashes and quotes before re-embedding the value in JSON.
+value=$(printf '%s' "$value" | sed 's/\\/\\\\/g; s/"/\\"/g')
+echo "   confirming tuple $tuple $attr = $value"
+
+echo "== feedback (confirm the least-confident repair)"
+feedback=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d "{\"items\":[{\"tuple\":$tuple,\"attr\":\"$attr\",\"value\":\"$value\"}]}" \
+  "$base/sessions/$id/feedback")
+confirmed=$(jget "$feedback" confirmed)
+[ "$confirmed" = "1" ] || { echo "FAIL: feedback confirmed=$confirmed: $feedback"; exit 1; }
+
+echo "== final state"
+final=$(curl -fsS "$base/sessions/$id")
+frepairs=$(jget "$final" repairs)
+[ -n "$frepairs" ] && [ "$frepairs" -gt 0 ] || { echo "FAIL: empty repairs at end: $final"; exit 1; }
+csv_rows=$(curl -fsS "$base/sessions/$id/dataset" | wc -l)
+[ "$csv_rows" -gt 1 ] || { echo "FAIL: repaired CSV empty"; exit 1; }
+
+echo "PASS: serve smoke ($repairs repairs initially, $frepairs after delta+feedback)"

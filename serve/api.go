@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"holoclean"
+)
+
+// SessionInfo is the wire representation of one managed session.
+type SessionInfo struct {
+	ID   string `json:"id"`
+	Name string `json:"name,omitempty"`
+	// Tuples and Attrs describe the session's current (dirty) relation.
+	Tuples int      `json:"tuples"`
+	Attrs  []string `json:"attrs,omitempty"`
+	// Repairs is the size of the current repair list.
+	Repairs int `json:"repairs"`
+	// Recleans counts pipeline rounds after the initial clean (delta
+	// recleans and feedback rounds both advance the RelearnEvery clock).
+	Recleans int `json:"recleans"`
+	// Confirmed is the number of accumulated feedback confirmations.
+	Confirmed int `json:"confirmed"`
+	// Evicted reports whether the session currently lives only as a
+	// snapshot; the next operation that needs it restores it transparently.
+	Evicted bool `json:"evicted"`
+	// Stats describes the session's most recent pipeline run. Absent on
+	// evicted sessions (the result cache is released with the session).
+	Stats *RunStatsInfo `json:"stats,omitempty"`
+}
+
+// RunStatsInfo is holoclean.RunStats with wall-clock durations in
+// milliseconds, the shape clients chart latency from.
+type RunStatsInfo struct {
+	NoisyCells      int     `json:"noisy_cells"`
+	Variables       int     `json:"variables"`
+	Factors         int     `json:"factors"`
+	Shards          int     `json:"shards"`
+	SingletonShards int     `json:"singleton_shards"`
+	ShardsReused    int     `json:"shards_reused"`
+	DetectMS        float64 `json:"detect_ms"`
+	CompileMS       float64 `json:"compile_ms"`
+	LearnMS         float64 `json:"learn_ms"`
+	InferMS         float64 `json:"infer_ms"`
+	TotalMS         float64 `json:"total_ms"`
+}
+
+func runStatsInfo(s holoclean.RunStats) *RunStatsInfo {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return &RunStatsInfo{
+		NoisyCells:      s.NoisyCells,
+		Variables:       s.Variables,
+		Factors:         s.Factors,
+		Shards:          s.Shards,
+		SingletonShards: s.SingletonShards,
+		ShardsReused:    s.ShardsReused,
+		DetectMS:        ms(s.DetectTime),
+		CompileMS:       ms(s.CompileTime),
+		LearnMS:         ms(s.LearnTime),
+		InferMS:         ms(s.InferTime),
+		TotalMS:         ms(s.TotalTime),
+	}
+}
+
+// CreateRequest is the JSON body of POST /sessions. The same fields can
+// be sent as a multipart form ("data" and "dcs" as file or value parts,
+// the rest as values), which is the curl-friendly shape.
+type CreateRequest struct {
+	Name string `json:"name,omitempty"`
+	// CSV is the dirty relation, header row first.
+	CSV string `json:"csv"`
+	// Constraints holds one denial constraint per line (optional
+	// "name:" prefixes, '#' comments).
+	Constraints string `json:"constraints"`
+	// SourceColumn, when set, names a provenance column of the CSV.
+	SourceColumn string `json:"source_column,omitempty"`
+	// Seed, Tau, RelearnEvery override the server's base options for
+	// this session; zero values keep the defaults.
+	Seed         int64    `json:"seed,omitempty"`
+	Tau          *float64 `json:"tau,omitempty"`
+	RelearnEvery int      `json:"relearn_every,omitempty"`
+}
+
+// DeltaOp is one tuple change of a delta batch.
+type DeltaOp struct {
+	// Op is "upsert" or "delete".
+	Op string `json:"op"`
+	// Row is the tuple index; -1 (or the current tuple count) appends.
+	Row int `json:"row"`
+	// Values holds one value per schema attribute (upsert only).
+	Values []string `json:"values,omitempty"`
+}
+
+// UnmarshalJSON requires the "row" field to be present: a zero-value
+// default would silently aim a mistyped op — including a delete — at
+// tuple 0.
+func (op *DeltaOp) UnmarshalJSON(b []byte) error {
+	var raw struct {
+		Op     string   `json:"op"`
+		Row    *int     `json:"row"`
+		Values []string `json:"values"`
+	}
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return err
+	}
+	if raw.Row == nil {
+		return fmt.Errorf(`delta op missing required "row" field`)
+	}
+	op.Op, op.Row, op.Values = raw.Op, *raw.Row, raw.Values
+	return nil
+}
+
+// DeltaRequest is the JSON body of POST /sessions/{id}/deltas. Clients
+// streaming NDJSON (Content-Type application/x-ndjson) send one DeltaOp
+// object per line instead; either way the whole batch is validated up
+// front, applied atomically, and coalesced into a single Reclean.
+type DeltaRequest struct {
+	Ops []DeltaOp `json:"ops"`
+}
+
+// DeltaResponse reports one coalesced reclean.
+type DeltaResponse struct {
+	Applied int           `json:"applied"`
+	Tuples  int           `json:"tuples"`
+	Repairs int           `json:"repairs"`
+	Stats   *RunStatsInfo `json:"stats"`
+}
+
+// RepairInfo is one proposed (or reviewable) repair on the wire.
+type RepairInfo struct {
+	Tuple       int     `json:"tuple"`
+	Attr        string  `json:"attr"`
+	Old         string  `json:"old"`
+	New         string  `json:"new"`
+	Probability float64 `json:"probability"`
+}
+
+func repairInfo(r holoclean.Repair) RepairInfo {
+	return RepairInfo{Tuple: r.Tuple, Attr: r.Attr, Old: r.Old, New: r.New, Probability: r.Probability}
+}
+
+// RepairPage is a stable-ordered page of repairs; ordering is (Tuple,
+// Attr) for /repairs and ascending probability with (Tuple, Attr)
+// tie-breaks for /review, both deterministic across identical runs.
+type RepairPage struct {
+	Total     int          `json:"total"`
+	Offset    int          `json:"offset"`
+	Threshold float64      `json:"threshold,omitempty"`
+	Items     []RepairInfo `json:"items"`
+}
+
+// FeedbackItem is one user confirmation; Attr is the attribute name.
+type FeedbackItem struct {
+	Tuple int    `json:"tuple"`
+	Attr  string `json:"attr"`
+	Value string `json:"value"`
+}
+
+// UnmarshalJSON requires the "tuple" field to be present — an omitted
+// tuple must not silently confirm a value on row 0. (A missing attr or
+// value falls through to the schema and feedback validation, which
+// reject them with clear errors.)
+func (it *FeedbackItem) UnmarshalJSON(b []byte) error {
+	var raw struct {
+		Tuple *int   `json:"tuple"`
+		Attr  string `json:"attr"`
+		Value string `json:"value"`
+	}
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return err
+	}
+	if raw.Tuple == nil {
+		return fmt.Errorf(`feedback item missing required "tuple" field`)
+	}
+	it.Tuple, it.Attr, it.Value = *raw.Tuple, raw.Attr, raw.Value
+	return nil
+}
+
+// FeedbackRequest is the JSON body of POST /sessions/{id}/feedback.
+type FeedbackRequest struct {
+	Items []FeedbackItem `json:"items"`
+}
+
+// FeedbackResponse reports one applied feedback round.
+type FeedbackResponse struct {
+	Confirmed int           `json:"confirmed"`
+	Repairs   int           `json:"repairs"`
+	Stats     *RunStatsInfo `json:"stats"`
+}
+
+// ErrorResponse is the JSON envelope of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// HealthResponse is GET /healthz.
+type HealthResponse struct {
+	OK       bool `json:"ok"`
+	Sessions int  `json:"sessions"`
+	// Queued is the number of heavy jobs currently running or waiting
+	// for a slot; load balancers can shed on it before hitting 429s.
+	Queued int `json:"queued"`
+}

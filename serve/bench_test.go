@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"holoclean/internal/datagen"
+)
+
+// BenchmarkServeReclean measures request→response latency of one
+// coalesced delta reclean over HTTP: a 1% tuple mutation of the
+// hospital workload posted to /sessions/{id}/deltas, timed from the
+// client's POST to the decoded DeltaResponse — the serving-path
+// counterpart of BenchmarkIncrementalReclean, with JSON codec, HTTP
+// round trip, session locking and the job queue included.
+func BenchmarkServeReclean(b *testing.B) {
+	g := datagen.Hospital(datagen.Config{Tuples: 1000, Seed: 1})
+	var csvBuf bytes.Buffer
+	if err := g.Dirty.WriteCSV(&csvBuf); err != nil {
+		b.Fatal(err)
+	}
+	var dcs strings.Builder
+	for _, c := range g.Constraints {
+		fmt.Fprintf(&dcs, "%s: %s\n", c.Name, c.String())
+	}
+	sv := New(Config{Workers: 1, MaxConcurrentJobs: 1, QueueDepth: 4})
+	ts := httptest.NewServer(sv)
+	defer ts.Close()
+	defer sv.Close()
+
+	body, err := json.Marshal(CreateRequest{CSV: csvBuf.String(), Constraints: dcs.String(), Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		b.Fatalf("create: status %d: %s", resp.StatusCode, raw)
+	}
+	var info SessionInfo
+	if err := json.Unmarshal(raw, &info); err != nil {
+		b.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(9))
+	n, attrs := g.Dirty.NumTuples(), g.Dirty.NumAttrs()
+	var shards, reused float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		// Typo-style errors on the same attributes the library
+		// benchmark mutates (benchMutate in bench_test.go), so the two
+		// report comparable shard-reuse behavior.
+		errAttrs := []int{9, 16, 17}
+		ops := make([]DeltaOp, 0, n/100)
+		for k := 0; k < n/100; k++ {
+			tup := rng.Intn(n)
+			row := make([]string, attrs)
+			for a := range row {
+				row[a] = g.Dirty.GetString(tup, a)
+			}
+			a := errAttrs[rng.Intn(len(errAttrs))]
+			row[a] = fmt.Sprintf("%s~%d", row[a], rng.Intn(10))
+			ops = append(ops, DeltaOp{Op: "upsert", Row: tup, Values: row})
+		}
+		body, err := json.Marshal(DeltaRequest{Ops: ops})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		resp, err := http.Post(ts.URL+"/sessions/"+info.ID+"/deltas", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("delta: status %d: %s", resp.StatusCode, raw)
+		}
+		var dres DeltaResponse
+		if err := json.Unmarshal(raw, &dres); err != nil {
+			b.Fatal(err)
+		}
+		shards += float64(dres.Stats.Shards)
+		reused += float64(dres.Stats.ShardsReused)
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(shards/float64(b.N), "shards/op")
+		b.ReportMetric(reused/float64(b.N), "reused/op")
+	}
+}

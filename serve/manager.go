@@ -1,0 +1,468 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"holoclean"
+)
+
+// errBusy is returned by acquire when the bounded job queue is full; the
+// HTTP layer maps it to 429 + Retry-After.
+var errBusy = errors.New("serve: job queue full")
+
+// tenant is one managed cleaning session. Locking model:
+//
+//   - mu serializes every use of session, which is not goroutine-safe.
+//     Heavy pipeline work (clean, reclean, feedback, restore) runs with
+//     mu held, so concurrent requests against one session queue up while
+//     distinct sessions proceed in parallel.
+//   - resMu guards the derived read view (last result + summary). Read
+//     endpoints serve from it without touching mu, so a review or
+//     repairs GET never blocks behind another tenant's — or this
+//     tenant's — running reclean.
+//   - lastUsed is atomic so any handler can stamp activity without
+//     either lock.
+//
+// Lock order is always job slot → tenant.mu → resMu: heavy handlers
+// claim a queue slot before the tenant lock, so every waiter — including
+// the Nth writer to one hot session — is counted against the bounded
+// queue and sheds with 429 instead of piling up invisibly on the mutex.
+// A tenant-lock holder therefore always already owns a slot and never
+// waits for one, and the janitor takes tenant.mu only via TryLock and
+// never a slot, so the hierarchy has no cycle.
+// overrides are the per-session option knobs a create request may set;
+// they must survive eviction and restarts, since restoring a session
+// with different options would silently change its results.
+type overrides struct {
+	Seed         int64    `json:"seed,omitempty"`
+	Tau          *float64 `json:"tau,omitempty"`
+	RelearnEvery int      `json:"relearn_every,omitempty"`
+}
+
+// serverSnapshot is the on-disk/in-memory eviction envelope: the
+// library's session snapshot plus the server-side metadata needed to
+// restore it with identical options, and the listing summary so a
+// rebooted daemon can report snapshot-only sessions truthfully without
+// parsing (or restoring) the session blob.
+type serverSnapshot struct {
+	Name      string          `json:"name,omitempty"`
+	Overrides overrides       `json:"overrides"`
+	Tuples    int             `json:"tuples"`
+	Attrs     []string        `json:"attrs,omitempty"`
+	Repairs   int             `json:"repairs"`
+	Recleans  int             `json:"recleans"`
+	Confirmed int             `json:"confirmed"`
+	Session   json.RawMessage `json:"session"`
+}
+
+type tenant struct {
+	id      string
+	name    string
+	ov      overrides
+	created time.Time
+
+	mu      sync.Mutex
+	session *holoclean.Session
+	// snapshot holds the serialized session while evicted (nil when the
+	// session is live, or when it lives in snapshotPath on disk instead).
+	snapshot     []byte
+	snapshotPath string
+
+	resMu sync.RWMutex
+	last  *holoclean.Result
+	// csv is the repaired relation rendered at publish time. It exists
+	// because Result.Repaired shares its value dictionary with the live
+	// session dataset (Dataset.Clone shares dicts), so serializing it
+	// lazily on GET /dataset would race later deltas interning new
+	// values; rendering under tenant.mu while the session is quiescent
+	// makes the read path dict-free.
+	csv []byte
+	sum tenantSummary
+
+	lastUsed atomic.Int64 // unix nanoseconds
+}
+
+// tenantSummary is the listing metadata that survives eviction.
+type tenantSummary struct {
+	tuples    int
+	attrs     []string
+	repairs   int
+	recleans  int
+	confirmed int
+}
+
+func (t *tenant) touch(now time.Time) { t.lastUsed.Store(now.UnixNano()) }
+
+// setResult publishes a finished run to the read view. Call with t.mu held.
+func (t *tenant) setResult(res *holoclean.Result) error {
+	s := t.session
+	var csv bytes.Buffer
+	if err := res.Repaired.WriteCSV(&csv); err != nil {
+		return err
+	}
+	t.resMu.Lock()
+	t.last = res
+	t.csv = csv.Bytes()
+	t.sum = tenantSummary{
+		tuples:    s.NumTuples(),
+		attrs:     s.Attrs(),
+		repairs:   len(res.Repairs),
+		recleans:  s.Recleans(),
+		confirmed: s.ConfirmedCount(),
+	}
+	t.resMu.Unlock()
+	return nil
+}
+
+// info renders the listing view; safe without t.mu.
+func (t *tenant) info() SessionInfo {
+	t.resMu.RLock()
+	defer t.resMu.RUnlock()
+	out := SessionInfo{
+		ID:        t.id,
+		Name:      t.name,
+		Tuples:    t.sum.tuples,
+		Attrs:     t.sum.attrs,
+		Repairs:   t.sum.repairs,
+		Recleans:  t.sum.recleans,
+		Confirmed: t.sum.confirmed,
+		Evicted:   t.last == nil,
+	}
+	if t.last != nil {
+		out.Stats = runStatsInfo(t.last.Stats)
+	}
+	return out
+}
+
+// acquire claims a slot on the bounded global job queue. At most
+// MaxConcurrentJobs heavy jobs run at once; up to QueueDepth more may
+// wait. Beyond that the queue refuses immediately with errBusy — the
+// backpressure signal — instead of letting latency grow without bound.
+func (sv *Server) acquire(ctx context.Context) (release func(), err error) {
+	if int(sv.queued.Add(1)) > sv.cfg.MaxConcurrentJobs+sv.cfg.QueueDepth {
+		sv.queued.Add(-1)
+		return nil, errBusy
+	}
+	select {
+	case sv.sem <- struct{}{}:
+		start := time.Now()
+		return func() {
+			sv.observeJob(time.Since(start))
+			<-sv.sem
+			sv.queued.Add(-1)
+		}, nil
+	case <-ctx.Done():
+		sv.queued.Add(-1)
+		return nil, ctx.Err()
+	}
+}
+
+// observeJob feeds the EWMA job duration behind Retry-After estimates.
+func (sv *Server) observeJob(d time.Duration) {
+	for {
+		old := sv.jobEWMA.Load()
+		var next int64
+		if old == 0 {
+			next = int64(d)
+		} else {
+			next = old + (int64(d)-old)/4
+		}
+		if sv.jobEWMA.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// retryAfterSeconds estimates how long until a queue slot frees up: the
+// queue length times the average job duration, divided by the slots
+// draining it in parallel; at least one second.
+func (sv *Server) retryAfterSeconds() int {
+	est := time.Duration(sv.jobEWMA.Load()) * time.Duration(sv.queued.Load()) /
+		time.Duration(sv.cfg.MaxConcurrentJobs)
+	secs := int((est + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// lookup returns the tenant for id, or nil.
+func (sv *Server) lookup(id string) *tenant {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return sv.sessions[id]
+}
+
+// register adds a fully-initialized tenant under a fresh id.
+func (sv *Server) register(t *tenant) {
+	sv.mu.Lock()
+	sv.sessions[t.id] = t
+	sv.mu.Unlock()
+}
+
+// nextID mints a session id. Ids are dense and deterministic ("s1",
+// "s2", …) so transcripts and tests are reproducible.
+func (sv *Server) nextID() string {
+	return fmt.Sprintf("s%d", sv.idSeq.Add(1))
+}
+
+// remove deletes a tenant and any on-disk snapshot.
+func (sv *Server) remove(id string) bool {
+	sv.mu.Lock()
+	t, ok := sv.sessions[id]
+	delete(sv.sessions, id)
+	sv.mu.Unlock()
+	if !ok {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.snapshotPath != "" {
+		os.Remove(t.snapshotPath)
+	}
+	return true
+}
+
+// list returns session infos sorted by id.
+func (sv *Server) list() []SessionInfo {
+	sv.mu.Lock()
+	tenants := make([]*tenant, 0, len(sv.sessions))
+	for _, t := range sv.sessions {
+		tenants = append(tenants, t)
+	}
+	sv.mu.Unlock()
+	out := make([]SessionInfo, 0, len(tenants))
+	for _, t := range tenants {
+		out = append(out, t.info())
+	}
+	// Minted ids are a dense numeric sequence; order by the number so
+	// s2 sorts before s10 (creation order), not lexically after it.
+	seq := func(id string) int64 {
+		var n int64
+		if c, _ := fmt.Sscanf(id, "s%d", &n); c == 1 {
+			return n
+		}
+		return -1
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := seq(out[i].ID), seq(out[j].ID)
+		if si != sj {
+			return si < sj
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// ensureLive restores t's session from its snapshot if it was evicted.
+// Call with a job slot acquired and t.mu held, in that order (a restore
+// replays the pipeline once).
+func (sv *Server) ensureLive(t *tenant) error {
+	if t.session != nil {
+		return nil
+	}
+	data := t.snapshot
+	if data == nil && t.snapshotPath != "" {
+		b, err := os.ReadFile(t.snapshotPath)
+		if err != nil {
+			return fmt.Errorf("serve: reading snapshot of %s: %w", t.id, err)
+		}
+		data = b
+	}
+	if data == nil {
+		return fmt.Errorf("serve: session %s has neither live state nor a snapshot", t.id)
+	}
+	var env serverSnapshot
+	if err := json.Unmarshal(data, &env); err != nil {
+		return fmt.Errorf("serve: decoding snapshot envelope of %s: %w", t.id, err)
+	}
+	// name is read by info()/list() under resMu alone; publish the
+	// envelope's copy under the same lock. ov is only ever accessed
+	// under t.mu (held here).
+	t.resMu.Lock()
+	t.name = env.Name
+	t.resMu.Unlock()
+	t.ov = env.Overrides
+	s, res, err := holoclean.RestoreSession(bytes.NewReader(env.Session), sv.optionsFor(t.ov))
+	if err != nil {
+		return fmt.Errorf("serve: restoring %s: %w", t.id, err)
+	}
+	t.session = s
+	t.snapshot = nil
+	if res != nil {
+		if err := t.setResult(res); err != nil {
+			return err
+		}
+	}
+	sv.logf("serve: restored session %s (%d tuples)", t.id, s.NumTuples())
+	return nil
+}
+
+// evictIdle snapshots and releases every session idle since before
+// cutoff. Sessions whose lock is held (an operation is running) are
+// skipped — they are not idle. Returns the number evicted.
+func (sv *Server) evictIdle(cutoff time.Time) int {
+	sv.mu.Lock()
+	tenants := make([]*tenant, 0, len(sv.sessions))
+	for _, t := range sv.sessions {
+		tenants = append(tenants, t)
+	}
+	sv.mu.Unlock()
+	evicted := 0
+	for _, t := range tenants {
+		if t.lastUsed.Load() >= cutoff.UnixNano() {
+			continue
+		}
+		if !t.mu.TryLock() {
+			continue
+		}
+		// Re-check registration under the lock: a DELETE racing this
+		// sweep may have removed the tenant after the list was taken,
+		// and snapshotting it would resurrect deleted data on restart.
+		if t.session != nil && sv.lookup(t.id) == t {
+			if err := sv.evictLocked(t); err != nil {
+				sv.logf("serve: evicting %s: %v", t.id, err)
+			} else {
+				evicted++
+			}
+		}
+		t.mu.Unlock()
+	}
+	return evicted
+}
+
+// evictLocked serializes t's session and drops the heavy state. Call
+// with t.mu held. The snapshot is deterministic, so re-evicting an
+// untouched restored session writes identical bytes.
+func (sv *Server) evictLocked(t *tenant) error {
+	if t.session.PendingMutations() > 0 {
+		// A failed reclean left staged ops: snapshotting now would fold
+		// them into the restore pass and desynchronize the envelope
+		// summary from the blob. Keep the session resident until a
+		// successful reclean returns it to a steady state.
+		return fmt.Errorf("session has %d tuples with staged mutations", t.session.PendingMutations())
+	}
+	var sessBuf bytes.Buffer
+	if err := t.session.Snapshot(&sessBuf); err != nil {
+		return err
+	}
+	t.resMu.RLock()
+	sum := t.sum
+	t.resMu.RUnlock()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(&serverSnapshot{
+		Name:      t.name,
+		Overrides: t.ov,
+		Tuples:    sum.tuples,
+		Attrs:     sum.attrs,
+		Repairs:   sum.repairs,
+		Recleans:  sum.recleans,
+		Confirmed: sum.confirmed,
+		Session:   json.RawMessage(bytes.TrimSpace(sessBuf.Bytes())),
+	}); err != nil {
+		return err
+	}
+	if sv.cfg.SnapshotDir != "" {
+		path := filepath.Join(sv.cfg.SnapshotDir, t.id+".snapshot.json")
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+		t.snapshotPath = path
+		t.snapshot = nil
+	} else {
+		t.snapshot = buf.Bytes()
+	}
+	t.session = nil
+	t.resMu.Lock()
+	t.last = nil
+	t.csv = nil
+	t.resMu.Unlock()
+	sv.logf("serve: evicted idle session %s (%d snapshot bytes)", t.id, buf.Len())
+	return nil
+}
+
+// janitor periodically evicts idle sessions until stop is closed.
+func (sv *Server) janitor(stop <-chan struct{}) {
+	sweep := sv.cfg.SweepEvery
+	if sweep <= 0 {
+		sweep = sv.cfg.IdleTimeout / 2
+	}
+	if sweep <= 0 {
+		return
+	}
+	tick := time.NewTicker(sweep)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-tick.C:
+			sv.evictIdle(now.Add(-sv.cfg.IdleTimeout))
+		}
+	}
+}
+
+// loadSnapshots registers evicted tenants for every snapshot file found
+// in SnapshotDir, so sessions survive a server restart. They stay
+// evicted until first touched.
+func (sv *Server) loadSnapshots() {
+	entries, err := os.ReadDir(sv.cfg.SnapshotDir)
+	if err != nil {
+		sv.logf("serve: reading snapshot dir: %v", err)
+		return
+	}
+	maxSeq := int64(0)
+	for _, e := range entries {
+		id, ok := strings.CutSuffix(e.Name(), ".snapshot.json")
+		if e.IsDir() || !ok || id == "" {
+			continue
+		}
+		path := filepath.Join(sv.cfg.SnapshotDir, e.Name())
+		t := &tenant{
+			id:           id,
+			created:      time.Now(),
+			snapshotPath: path,
+		}
+		// Read the envelope header so listings stay truthful across a
+		// restart; an unreadable envelope still registers (the error
+		// will surface, with detail, on first restore).
+		if data, err := os.ReadFile(path); err == nil {
+			var env serverSnapshot
+			if json.Unmarshal(data, &env) == nil {
+				t.name, t.ov = env.Name, env.Overrides
+				t.sum = tenantSummary{
+					tuples:    env.Tuples,
+					attrs:     env.Attrs,
+					repairs:   env.Repairs,
+					recleans:  env.Recleans,
+					confirmed: env.Confirmed,
+				}
+			}
+		}
+		t.touch(time.Now())
+		sv.register(t)
+		var seq int64
+		if n, _ := fmt.Sscanf(id, "s%d", &seq); n == 1 && seq > maxSeq {
+			maxSeq = seq
+		}
+		sv.logf("serve: loaded snapshot for session %s", id)
+	}
+	// Never mint an id that collides with a loaded snapshot.
+	for {
+		cur := sv.idSeq.Load()
+		if cur >= maxSeq || sv.idSeq.CompareAndSwap(cur, maxSeq) {
+			return
+		}
+	}
+}

@@ -1,0 +1,685 @@
+// Package serve turns the holoclean library into a concurrent cleaning
+// service: an HTTP/JSON API managing many named cleaning sessions at
+// once. It is the serving half of the paper's Section 2.2 feedback loop
+// — clients create a session from an uploaded CSV and denial-constraint
+// file, stream delta batches that are coalesced into single incremental
+// recleans, page through the low-confidence review queue, and post
+// confirmations that feed back into the model.
+//
+// Concurrency contract. A holoclean.Session is not goroutine-safe, so
+// each session is guarded by its own mutex and all work on it is
+// serialized; distinct sessions clean in parallel. Heavy pipeline work
+// (initial clean, reclean, feedback, snapshot restore) additionally runs
+// through a bounded global job queue: at most MaxConcurrentJobs jobs
+// execute at once and at most QueueDepth more may wait, so N tenants
+// share the machine fairly; past that the server answers 429 with a
+// Retry-After estimate instead of queueing unboundedly. Idle sessions
+// are evicted to deterministic snapshots and restored transparently on
+// next use.
+//
+// Endpoints:
+//
+//	GET    /healthz
+//	POST   /sessions                      create (JSON or multipart: data, dcs)
+//	GET    /sessions                      list
+//	GET    /sessions/{id}                 status + last run stats
+//	DELETE /sessions/{id}                 drop session (and snapshot)
+//	GET    /sessions/{id}/repairs         paginated repairs, (tuple, attr) order
+//	GET    /sessions/{id}/dataset         repaired relation as CSV
+//	POST   /sessions/{id}/deltas          upsert/delete batch → one Reclean
+//	GET    /sessions/{id}/review          low-confidence repairs, ascending p
+//	POST   /sessions/{id}/feedback        confirmations → CleanWithFeedback path
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"holoclean"
+)
+
+// Config tunes the server. The zero value is usable: defaults are filled
+// in by New.
+type Config struct {
+	// Options is the base holoclean configuration every session starts
+	// from (per-session create requests may override Seed, Tau and
+	// RelearnEvery). Nil means holoclean.DefaultOptions.
+	Options *holoclean.Options
+	// Workers is each job's shard worker-pool size
+	// (holoclean.Options.Workers). 0 derives a fair share:
+	// GOMAXPROCS / MaxConcurrentJobs, at least 1 — so the configured
+	// concurrency never oversubscribes the machine.
+	Workers int
+	// MaxConcurrentJobs bounds heavy pipeline jobs running at once
+	// (default 2).
+	MaxConcurrentJobs int
+	// QueueDepth bounds jobs waiting for a slot beyond the running ones;
+	// requests beyond running+waiting get 429. Zero means no waiting at
+	// all — every job beyond MaxConcurrentJobs is refused immediately
+	// (cmd/holocleand defaults its flag to 8).
+	QueueDepth int
+	// IdleTimeout evicts sessions untouched for this long to snapshots
+	// (0 disables eviction).
+	IdleTimeout time.Duration
+	// SweepEvery is the janitor period (default IdleTimeout/2).
+	SweepEvery time.Duration
+	// SnapshotDir persists eviction snapshots on disk (and reloads them
+	// on startup); empty keeps snapshots in memory.
+	SnapshotDir string
+	// MaxUploadBytes caps request bodies (default 32 MiB).
+	MaxUploadBytes int64
+	// Logf receives operational log lines; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// Server is the HTTP serving layer. Create one with New; it implements
+// http.Handler and is safe for concurrent use.
+type Server struct {
+	cfg      Config
+	mux      *http.ServeMux
+	mu       sync.Mutex
+	sessions map[string]*tenant
+	sem      chan struct{}
+	queued   atomic.Int32
+	jobEWMA  atomic.Int64
+	idSeq    atomic.Int64
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// New builds a Server from cfg, loads any on-disk snapshots, and starts
+// the eviction janitor (when IdleTimeout is set). Call Close to stop it.
+func New(cfg Config) *Server {
+	if cfg.MaxConcurrentJobs <= 0 {
+		cfg.MaxConcurrentJobs = 2
+	}
+	if cfg.QueueDepth < 0 {
+		cfg.QueueDepth = 0
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0) / cfg.MaxConcurrentJobs
+		if cfg.Workers < 1 {
+			cfg.Workers = 1
+		}
+	}
+	if cfg.MaxUploadBytes <= 0 {
+		cfg.MaxUploadBytes = 32 << 20
+	}
+	sv := &Server{
+		cfg:      cfg,
+		sessions: make(map[string]*tenant),
+		sem:      make(chan struct{}, cfg.MaxConcurrentJobs),
+		stop:     make(chan struct{}),
+	}
+	sv.routes()
+	if cfg.SnapshotDir != "" {
+		sv.loadSnapshots()
+	}
+	if cfg.IdleTimeout > 0 {
+		go sv.janitor(sv.stop)
+	}
+	return sv
+}
+
+// Close stops the eviction janitor. In-flight requests finish normally.
+func (sv *Server) Close() { sv.stopOnce.Do(func() { close(sv.stop) }) }
+
+func (sv *Server) logf(format string, args ...any) {
+	if sv.cfg.Logf != nil {
+		sv.cfg.Logf(format, args...)
+	}
+}
+
+// sessionOptions is the base option set sessions run with.
+func (sv *Server) sessionOptions() holoclean.Options {
+	var o holoclean.Options
+	if sv.cfg.Options != nil {
+		o = *sv.cfg.Options
+	} else {
+		o = holoclean.DefaultOptions()
+	}
+	o.Workers = sv.cfg.Workers
+	return o
+}
+
+// optionsFor applies a session's create-time overrides to the base
+// options. Restores go through the same path, so an evicted session
+// always comes back under the options it was created with.
+func (sv *Server) optionsFor(ov overrides) holoclean.Options {
+	o := sv.sessionOptions()
+	if ov.Seed != 0 {
+		o.Seed = ov.Seed
+	}
+	if ov.Tau != nil {
+		o.Tau = *ov.Tau
+	}
+	if ov.RelearnEvery != 0 {
+		o.RelearnEvery = ov.RelearnEvery
+	}
+	return o
+}
+
+func (sv *Server) routes() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", sv.handleHealth)
+	mux.HandleFunc("POST /sessions", sv.handleCreate)
+	mux.HandleFunc("GET /sessions", sv.handleList)
+	mux.HandleFunc("GET /sessions/{id}", sv.handleStatus)
+	mux.HandleFunc("DELETE /sessions/{id}", sv.handleDelete)
+	mux.HandleFunc("GET /sessions/{id}/repairs", sv.handleRepairs)
+	mux.HandleFunc("GET /sessions/{id}/dataset", sv.handleDataset)
+	mux.HandleFunc("POST /sessions/{id}/deltas", sv.handleDeltas)
+	mux.HandleFunc("GET /sessions/{id}/review", sv.handleReview)
+	mux.HandleFunc("POST /sessions/{id}/feedback", sv.handleFeedback)
+	sv.mux = mux
+}
+
+// ServeHTTP implements http.Handler.
+func (sv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, sv.cfg.MaxUploadBytes)
+	}
+	sv.mux.ServeHTTP(w, r)
+}
+
+// --- response helpers ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeBusy is the backpressure response: the bounded job queue is full.
+func (sv *Server) writeBusy(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(sv.retryAfterSeconds()))
+	writeError(w, http.StatusTooManyRequests, "job queue full, retry later")
+}
+
+// acquireOr claims a job-queue slot, writing the 429/503 response
+// itself on failure. Callers must call release() iff ok.
+func (sv *Server) acquireOr(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	release, err := sv.acquire(r.Context())
+	if err == nil {
+		return release, true
+	}
+	if errors.Is(err, errBusy) {
+		sv.writeBusy(w)
+	} else {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	}
+	return nil, false
+}
+
+// tenantOr404 resolves {id} and stamps activity.
+func (sv *Server) tenantOr404(w http.ResponseWriter, r *http.Request) *tenant {
+	t := sv.lookup(r.PathValue("id"))
+	if t == nil {
+		writeError(w, http.StatusNotFound, "no session %q", r.PathValue("id"))
+		return nil
+	}
+	t.touch(time.Now())
+	return t
+}
+
+// --- handlers ---
+
+func (sv *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	sv.mu.Lock()
+	n := len(sv.sessions)
+	sv.mu.Unlock()
+	writeJSON(w, http.StatusOK, HealthResponse{OK: true, Sessions: n, Queued: int(sv.queued.Load())})
+}
+
+func (sv *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, sv.list())
+}
+
+func (sv *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	t := sv.tenantOr404(w, r)
+	if t == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, t.info())
+}
+
+func (sv *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if !sv.remove(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, "no session %q", r.PathValue("id"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// parseCreate reads a CreateRequest from JSON or multipart form bodies.
+func parseCreate(r *http.Request) (*CreateRequest, error) {
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "multipart/form-data") {
+		if err := r.ParseMultipartForm(8 << 20); err != nil {
+			return nil, fmt.Errorf("parsing multipart form: %w", err)
+		}
+		part := func(name string) (string, error) {
+			if f, _, err := r.FormFile(name); err == nil {
+				defer f.Close()
+				b, err := io.ReadAll(f)
+				if err != nil {
+					return "", err
+				}
+				return string(b), nil
+			}
+			return r.FormValue(name), nil
+		}
+		req := &CreateRequest{Name: r.FormValue("name"), SourceColumn: r.FormValue("source_column")}
+		var err error
+		if req.CSV, err = part("data"); err != nil {
+			return nil, err
+		}
+		if req.Constraints, err = part("dcs"); err != nil {
+			return nil, err
+		}
+		if v := r.FormValue("seed"); v != "" {
+			if req.Seed, err = strconv.ParseInt(v, 10, 64); err != nil {
+				return nil, fmt.Errorf("bad seed %q", v)
+			}
+		}
+		if v := r.FormValue("tau"); v != "" {
+			tau, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad tau %q", v)
+			}
+			req.Tau = &tau
+		}
+		if v := r.FormValue("relearn_every"); v != "" {
+			if req.RelearnEvery, err = strconv.Atoi(v); err != nil {
+				return nil, fmt.Errorf("bad relearn_every %q", v)
+			}
+		}
+		return req, nil
+	}
+	var req CreateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return nil, fmt.Errorf("decoding JSON body: %w", err)
+	}
+	return &req, nil
+}
+
+func (sv *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	req, err := parseCreate(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if strings.TrimSpace(req.CSV) == "" {
+		writeError(w, http.StatusBadRequest, "missing dataset CSV (field \"data\" / \"csv\")")
+		return
+	}
+	ds, err := holoclean.ReadCSV(strings.NewReader(req.CSV), req.SourceColumn)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading CSV: %v", err)
+		return
+	}
+	constraints, err := holoclean.ParseConstraints(strings.NewReader(req.Constraints))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parsing constraints: %v", err)
+		return
+	}
+	ov := overrides{Seed: req.Seed, Tau: req.Tau, RelearnEvery: req.RelearnEvery}
+	session, err := holoclean.NewSession(ds, constraints, sv.optionsFor(ov))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	release, ok := sv.acquireOr(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	res, err := session.Clean()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "initial clean: %v", err)
+		return
+	}
+
+	t := &tenant{id: sv.nextID(), name: req.Name, ov: ov, created: time.Now(), session: session}
+	t.touch(time.Now())
+	if err := t.setResult(res); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	sv.register(t)
+	sv.logf("serve: created session %s (%d tuples, %d repairs)", t.id, ds.NumTuples(), len(res.Repairs))
+	writeJSON(w, http.StatusCreated, t.info())
+}
+
+// pageParams parses offset/limit query parameters.
+func pageParams(r *http.Request, total int) (offset, limit int, err error) {
+	offset, limit = 0, total
+	if v := r.URL.Query().Get("offset"); v != "" {
+		if offset, err = strconv.Atoi(v); err != nil || offset < 0 {
+			return 0, 0, fmt.Errorf("bad offset %q", v)
+		}
+	}
+	if v := r.URL.Query().Get("limit"); v != "" {
+		if limit, err = strconv.Atoi(v); err != nil || limit < 0 {
+			return 0, 0, fmt.Errorf("bad limit %q", v)
+		}
+	}
+	return offset, limit, nil
+}
+
+// readView returns the tenant's published result and rendered CSV,
+// restoring the session first if it was evicted (which needs a job
+// slot). The returned values are immutable snapshots: they never touch
+// the live session's value dictionary, so readers are safe against
+// concurrent deltas.
+func (sv *Server) readView(t *tenant, r *http.Request) (*holoclean.Result, []byte, error) {
+	t.resMu.RLock()
+	last, csv := t.last, t.csv
+	t.resMu.RUnlock()
+	if last != nil {
+		return last, csv, nil
+	}
+	// Evicted: restoring is heavy, so claim a queue slot first (slot →
+	// tenant.mu, the global lock order), then re-check under the lock —
+	// another request may have restored meanwhile.
+	release, err := sv.acquire(r.Context())
+	if err != nil {
+		return nil, nil, err
+	}
+	defer release()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.resMu.RLock()
+	last, csv = t.last, t.csv
+	t.resMu.RUnlock()
+	if last != nil {
+		return last, csv, nil
+	}
+	if err := sv.ensureLive(t); err != nil {
+		return nil, nil, err
+	}
+	t.resMu.RLock()
+	last, csv = t.last, t.csv
+	t.resMu.RUnlock()
+	if last == nil {
+		return nil, nil, fmt.Errorf("session %s has no result yet", t.id)
+	}
+	return last, csv, nil
+}
+
+// writeResultsError maps results() failures to status codes.
+func (sv *Server) writeResultsError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errBusy) {
+		sv.writeBusy(w)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, "%v", err)
+}
+
+func (sv *Server) handleRepairs(w http.ResponseWriter, r *http.Request) {
+	t := sv.tenantOr404(w, r)
+	if t == nil {
+		return
+	}
+	res, _, err := sv.readView(t, r)
+	if err != nil {
+		sv.writeResultsError(w, err)
+		return
+	}
+	offset, limit, err := pageParams(r, len(res.Repairs))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	page := RepairPage{Total: len(res.Repairs), Offset: offset, Items: []RepairInfo{}}
+	for i := offset; i < len(res.Repairs) && len(page.Items) < limit; i++ {
+		page.Items = append(page.Items, repairInfo(res.Repairs[i]))
+	}
+	writeJSON(w, http.StatusOK, page)
+}
+
+func (sv *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
+	t := sv.tenantOr404(w, r)
+	if t == nil {
+		return
+	}
+	_, csv, err := sv.readView(t, r)
+	if err != nil {
+		sv.writeResultsError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	if _, err := w.Write(csv); err != nil {
+		sv.logf("serve: writing dataset of %s: %v", t.id, err)
+	}
+}
+
+func (sv *Server) handleReview(w http.ResponseWriter, r *http.Request) {
+	t := sv.tenantOr404(w, r)
+	if t == nil {
+		return
+	}
+	res, _, err := sv.readView(t, r)
+	if err != nil {
+		sv.writeResultsError(w, err)
+		return
+	}
+	threshold := 0.95
+	if v := r.URL.Query().Get("threshold"); v != "" {
+		if threshold, err = strconv.ParseFloat(v, 64); err != nil {
+			writeError(w, http.StatusBadRequest, "bad threshold %q", v)
+			return
+		}
+	}
+	low := res.LowConfidenceRepairs(threshold)
+	offset, limit, err := pageParams(r, len(low))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	page := RepairPage{Total: len(low), Offset: offset, Threshold: threshold, Items: []RepairInfo{}}
+	for i := offset; i < len(low) && len(page.Items) < limit; i++ {
+		page.Items = append(page.Items, repairInfo(low[i]))
+	}
+	writeJSON(w, http.StatusOK, page)
+}
+
+// parseDeltaOps reads the op batch from a DeltaRequest JSON object or,
+// with Content-Type application/x-ndjson, a stream of DeltaOp lines.
+func parseDeltaOps(r *http.Request) ([]DeltaOp, error) {
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/x-ndjson") {
+		var ops []DeltaOp
+		dec := json.NewDecoder(r.Body)
+		for {
+			var op DeltaOp
+			if err := dec.Decode(&op); err == io.EOF {
+				return ops, nil
+			} else if err != nil {
+				return nil, fmt.Errorf("decoding NDJSON op %d: %w", len(ops)+1, err)
+			}
+			ops = append(ops, op)
+		}
+	}
+	var req DeltaRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return nil, fmt.Errorf("decoding JSON body: %w", err)
+	}
+	return req.Ops, nil
+}
+
+// validateDeltaOps checks the whole batch against a simulated tuple
+// count before anything is applied, so a bad op rejects the batch
+// atomically instead of leaving a prefix staged.
+func validateDeltaOps(ops []DeltaOp, tuples, attrs int) error {
+	n := tuples
+	for i, op := range ops {
+		switch op.Op {
+		case "upsert":
+			if len(op.Values) != attrs {
+				return fmt.Errorf("op %d: upsert has %d values, want %d", i, len(op.Values), attrs)
+			}
+			if op.Row == -1 || op.Row == n {
+				n++
+			} else if op.Row < 0 || op.Row > n {
+				return fmt.Errorf("op %d: upsert row %d out of range [0, %d]", i, op.Row, n)
+			}
+		case "delete":
+			if op.Row < 0 || op.Row >= n {
+				return fmt.Errorf("op %d: delete row %d out of range [0, %d)", i, op.Row, n)
+			}
+			n--
+		default:
+			return fmt.Errorf("op %d: unknown op %q (want upsert or delete)", i, op.Op)
+		}
+	}
+	return nil
+}
+
+func (sv *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
+	t := sv.tenantOr404(w, r)
+	if t == nil {
+		return
+	}
+	ops, err := parseDeltaOps(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(ops) == 0 {
+		writeError(w, http.StatusBadRequest, "empty delta batch")
+		return
+	}
+
+	// Slot before tenant lock (the global order): every waiter counts
+	// against the bounded queue, so a hot session sheds load with 429
+	// instead of stacking goroutines on its mutex.
+	release, ok := sv.acquireOr(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := sv.ensureLive(t); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s := t.session
+	if err := validateDeltaOps(ops, s.NumTuples(), len(s.Attrs())); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	for _, op := range ops {
+		switch op.Op {
+		case "upsert":
+			_, err = s.Upsert(op.Row, op.Values)
+		case "delete":
+			err = s.Delete(op.Row)
+		}
+		if err != nil {
+			// Unreachable given validation; surface it loudly if not.
+			writeError(w, http.StatusInternalServerError, "applying op: %v", err)
+			return
+		}
+	}
+	res, err := s.Reclean()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "reclean: %v", err)
+		return
+	}
+	if err := t.setResult(res); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	t.touch(time.Now())
+	writeJSON(w, http.StatusOK, DeltaResponse{
+		Applied: len(ops),
+		Tuples:  s.NumTuples(),
+		Repairs: len(res.Repairs),
+		Stats:   runStatsInfo(res.Stats),
+	})
+}
+
+func (sv *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	t := sv.tenantOr404(w, r)
+	if t == nil {
+		return
+	}
+	var req FeedbackRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding JSON body: %v", err)
+		return
+	}
+	if len(req.Items) == 0 {
+		writeError(w, http.StatusBadRequest, "empty feedback batch")
+		return
+	}
+
+	release, ok := sv.acquireOr(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := sv.ensureLive(t); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+
+	fb := make([]holoclean.Feedback, 0, len(req.Items))
+	attrs := t.session.Attrs()
+	for i, item := range req.Items {
+		attr := -1
+		for a, name := range attrs {
+			if name == item.Attr {
+				attr = a
+				break
+			}
+		}
+		if attr < 0 {
+			writeError(w, http.StatusBadRequest, "item %d: unknown attribute %q", i, item.Attr)
+			return
+		}
+		fb = append(fb, holoclean.Feedback{
+			Cell:  holoclean.Cell{Tuple: item.Tuple, Attr: attr},
+			Value: item.Value,
+		})
+	}
+	res, err := t.session.Feedback(fb)
+	if err != nil {
+		// Validation failures (out of range, empty value, duplicate
+		// confirmation) reject the batch without touching the session;
+		// anything else is a pipeline failure, not a client error.
+		if errors.Is(err, holoclean.ErrInvalidFeedback) {
+			writeError(w, http.StatusBadRequest, "%v", err)
+		} else {
+			writeError(w, http.StatusUnprocessableEntity, "feedback reclean: %v", err)
+		}
+		return
+	}
+	if err := t.setResult(res); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	t.touch(time.Now())
+	writeJSON(w, http.StatusOK, FeedbackResponse{
+		Confirmed: t.session.ConfirmedCount(),
+		Repairs:   len(res.Repairs),
+		Stats:     runStatsInfo(res.Stats),
+	})
+}

@@ -27,7 +27,10 @@ import (
 // marginals a from-scratch Clean of the mutated dataset would (given the
 // same weights) at a fraction of the cost.
 //
-// A Session is not safe for concurrent use.
+// A Session is not safe for concurrent use: callers running sessions
+// behind a shared surface (e.g. the serve package) must serialize all
+// method calls on one Session, while distinct Sessions are fully
+// independent and may run in parallel.
 type Session struct {
 	opts        Options
 	constraints []*Constraint
@@ -35,6 +38,11 @@ type Session struct {
 
 	cleaned  bool
 	recleans int
+
+	// confirmed accumulates user feedback (see Session.Feedback) in
+	// confirmation order; the cells are trusted — clean by fiat and
+	// labeled evidence on every relearn.
+	confirmed []Feedback
 
 	// touched tracks the tuple indexes mutated since the last clean.
 	touched map[int]bool
@@ -78,8 +86,33 @@ func NewSession(ds *Dataset, constraints []*Constraint, opts Options) (*Session,
 // Dataset returns a snapshot of the session's current (dirty) dataset.
 func (s *Session) Dataset() *Dataset { return s.ds.Clone() }
 
+// newCleaner builds the session's pipeline runner, carrying the
+// confirmed cells as trusted so they stay out of the noisy set on every
+// run, full or incremental.
+func (s *Session) newCleaner() *Cleaner {
+	cl := &Cleaner{opts: s.opts}
+	for _, f := range s.confirmed {
+		cl.trusted = append(cl.trusted, f.Cell)
+	}
+	return cl
+}
+
 // NumTuples reports the current relation size.
 func (s *Session) NumTuples() int { return s.ds.NumTuples() }
+
+// Attrs returns the schema attribute names (shared; do not mutate).
+func (s *Session) Attrs() []string { return s.ds.Attrs() }
+
+// Recleans reports how many pipeline rounds ran after the initial Clean
+// (delta recleans and feedback rounds both count — they share the
+// Options.RelearnEvery clock).
+func (s *Session) Recleans() int { return s.recleans }
+
+// PendingMutations reports how many tuples have staged changes not yet
+// folded in by a successful Reclean. Snapshot callers use it to honor
+// Snapshot's precondition: a session with pending mutations is not in a
+// serializable steady state.
+func (s *Session) PendingMutations() int { return len(s.touched) }
 
 // Weights returns a copy of the session's learned weight map (tying key →
 // value), usable as Options.InitialWeights.
@@ -101,6 +134,12 @@ func (s *Session) Upsert(t int, values []string) (int, error) {
 		for a, v := range values {
 			s.ds.SetString(t, a, v)
 		}
+		// An upsert that overwrites a confirmed value supersedes the
+		// confirmation: the cell re-enters normal detection instead of
+		// staying pinned to ground truth that no longer matches the data.
+		s.confirmed = slices.DeleteFunc(s.confirmed, func(f Feedback) bool {
+			return f.Cell.Tuple == t && s.ds.GetString(t, f.Cell.Attr) != f.Value
+		})
 	} else {
 		return -1, fmt.Errorf("holoclean: Upsert index %d out of range [0, %d]", t, n)
 	}
@@ -121,6 +160,19 @@ func (s *Session) Delete(t int) error {
 		s.touched[t] = true // the swapped-in tuple is renumbered
 	}
 	delete(s.touched, s.ds.NumTuples()) // the vacated last slot no longer exists
+	// Confirmations follow the tuples: the deleted tuple's die with it,
+	// the swapped-in tuple's are renumbered to its new slot.
+	old := s.confirmed
+	s.confirmed = s.confirmed[:0]
+	for _, f := range old {
+		switch f.Cell.Tuple {
+		case t:
+			continue
+		case s.ds.NumTuples():
+			f.Cell.Tuple = t
+		}
+		s.confirmed = append(s.confirmed, f)
+	}
 	return nil
 }
 
@@ -129,7 +181,19 @@ func (s *Session) Delete(t int) error {
 // primes the caches Reclean builds on. The first Reclean of a fresh
 // session calls it implicitly.
 func (s *Session) Clean() (*Result, error) {
-	cl := &Cleaner{opts: s.opts}
+	return s.runFull(true)
+}
+
+// runFull executes the full pipeline over the session's current dataset
+// — learning weights when relearn is true (or none are cached yet),
+// reusing them by tying key otherwise — and adopts the run's caches.
+// Clean, Feedback, and RestoreSession all funnel through here so weight
+// adoption and cache refresh cannot drift apart between paths.
+func (s *Session) runFull(relearn bool) (*Result, error) {
+	cl := s.newCleaner()
+	if !relearn && s.weights != nil {
+		cl.opts.InitialWeights = s.weights
+	}
 	res, art, err := cl.clean(s.ds, s.constraints, nil)
 	if err != nil {
 		return nil, err
@@ -162,7 +226,7 @@ func (s *Session) Reclean() (*Result, error) {
 
 	start := time.Now()
 	ds, n := s.ds, s.ds.NumTuples()
-	cl := &Cleaner{opts: s.opts}
+	cl := s.newCleaner()
 	resized := n != s.prevN
 
 	// --- Changed tuples: touched slots whose content actually differs
@@ -653,6 +717,13 @@ func (s *Session) adopt(res *Result, art *cleanArtifacts) {
 	}
 	for i, c := range prep.Domains.Cells {
 		s.domains.cells[c] = prep.Domains.Candidates[i]
+	}
+	// The noisy mask mirrors raw detection, not the trusted-filtered
+	// domain cells: masked statistics discount by detection flags alone
+	// (compile.CollectFiltered), so the session's delta maintenance must
+	// diff against the same mask even when confirmed cells are excluded
+	// from the query domains.
+	for _, c := range prep.Detection.Noisy {
 		if s.domains.noisyAttrs[c.Tuple] == nil {
 			s.domains.noisyAttrs[c.Tuple] = make(map[int]bool)
 		}
