@@ -17,17 +17,37 @@
 //	-workers N       shard workers per job (default GOMAXPROCS/max-jobs)
 //	-idle-timeout D  evict sessions idle for D to snapshots (0 disables)
 //	-snapshot-dir P  persist snapshots under P and reload them on boot
+//	-pprof ADDR      serve net/http/pprof on a separate listener, e.g.
+//	                 -pprof 127.0.0.1:6060 (off by default; never exposed
+//	                 on the main service address)
 package main
 
 import (
 	"flag"
 	"log"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
 	"holoclean/serve"
 )
+
+// pprofMux builds an explicit mux for the profiling endpoints. The
+// handlers are registered here rather than relying on the net/http/pprof
+// import's DefaultServeMux side effect, so profiling is reachable only
+// through the dedicated -pprof listener — the main service handler never
+// routes /debug/pprof, flag or no flag.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
 func main() {
 	var (
@@ -38,8 +58,25 @@ func main() {
 		idleTimeout = flag.Duration("idle-timeout", 15*time.Minute, "evict sessions idle this long (0 = never)")
 		snapshotDir = flag.String("snapshot-dir", "", "directory for eviction snapshots (empty = in-memory)")
 		maxUpload   = flag.Int64("max-upload", 32<<20, "max request body bytes")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// Bind synchronously so a taken port fails the start instead of
+		// the daemon silently running without the profiling the operator
+		// explicitly requested (consistent with -snapshot-dir handling).
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatalf("holocleand: pprof listener on %s: %v", *pprofAddr, err)
+		}
+		go func() {
+			log.Printf("holocleand: pprof listening on %s", *pprofAddr)
+			if err := http.Serve(ln, pprofMux()); err != nil {
+				log.Printf("holocleand: pprof listener failed: %v", err)
+			}
+		}()
+	}
 
 	if *snapshotDir != "" {
 		if err := os.MkdirAll(*snapshotDir, 0o755); err != nil {

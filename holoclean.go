@@ -31,6 +31,7 @@ package holoclean
 import (
 	"fmt"
 	"io"
+	"runtime/metrics"
 	"sort"
 	"time"
 
@@ -41,6 +42,7 @@ import (
 	"holoclean/internal/discovery"
 	"holoclean/internal/errordetect"
 	"holoclean/internal/extdict"
+	"holoclean/internal/factor"
 	"holoclean/internal/learn"
 	"holoclean/internal/stats"
 	"holoclean/internal/violation"
@@ -281,11 +283,75 @@ type RunStats struct {
 	// re-executing. Always zero for a plain Clean.
 	ShardsReused int
 
+	// AllocBytes and AllocObjects are the cumulative heap bytes and
+	// objects allocated while the run executed, measured as deltas of the
+	// pause-free runtime/metrics allocation counters (no stop-the-world
+	// sampling on the request path). The counters are process-wide: when
+	// several cleaning jobs run concurrently (the serve layer's job
+	// queue) each run's figures include its neighbors' allocations, so
+	// treat them as an upper bound there and as exact for a lone run.
+	// They are the cheap per-run view of what `go test -benchmem` reports
+	// per op, and the flat-arena core exists to keep them near-constant
+	// across steady-state recleans.
+	AllocBytes   uint64
+	AllocObjects uint64
+	// PeakHeapBytes is the largest live heap (runtime/metrics
+	// /memory/classes/heap/objects) observed at the run's phase
+	// boundaries — after compilation/learning and at completion. It is a
+	// sampled watermark, not a continuous maximum, and is process-wide
+	// like the counters above.
+	PeakHeapBytes uint64
+
 	DetectTime  time.Duration
 	CompileTime time.Duration
 	LearnTime   time.Duration
 	InferTime   time.Duration
 	TotalTime   time.Duration
+}
+
+// memProbe tracks the RunStats memory counters across one run using the
+// runtime/metrics package, whose reads do not stop the world — safe on
+// the serving layer's reclean request path, unlike runtime.ReadMemStats.
+type memProbe struct {
+	samples    [3]metrics.Sample // allocs:bytes, allocs:objects, heap live
+	startBytes uint64
+	startObjs  uint64
+	peak       uint64
+}
+
+func (p *memProbe) read() (allocBytes, allocObjs, live uint64) {
+	metrics.Read(p.samples[:])
+	return p.samples[0].Value.Uint64(), p.samples[1].Value.Uint64(), p.samples[2].Value.Uint64()
+}
+
+// beginMemProbe snapshots the allocator at the start of a run.
+func beginMemProbe() *memProbe {
+	p := &memProbe{}
+	p.samples[0].Name = "/gc/heap/allocs:bytes"
+	p.samples[1].Name = "/gc/heap/allocs:objects"
+	p.samples[2].Name = "/memory/classes/heap/objects:bytes"
+	var live uint64
+	p.startBytes, p.startObjs, live = p.read()
+	p.peak = live
+	return p
+}
+
+// sample records a phase boundary, keeping the high-water heap mark.
+func (p *memProbe) sample() {
+	if _, _, live := p.read(); live > p.peak {
+		p.peak = live
+	}
+}
+
+// finish writes the counters into st.
+func (p *memProbe) finish(st *RunStats) {
+	bytes, objs, live := p.read()
+	if live > p.peak {
+		p.peak = live
+	}
+	st.AllocBytes = bytes - p.startBytes
+	st.AllocObjects = objs - p.startObjs
+	st.PeakHeapBytes = p.peak
 }
 
 // Result is the outcome of Clean: the repaired dataset, the repair list,
@@ -346,6 +412,9 @@ type incrementalInputs struct {
 	// weights, when non-nil, are broadcast instead of learned.
 	weights map[string]float64
 	shared  *ddlog.SharedIndex
+	// interner, when non-nil, carries the session's canonical tying-key
+	// store across recleans so repeat groundings allocate no key strings.
+	interner *factor.KeyInterner
 	// dirty is the invalidated tuple set; nil executes every shard.
 	dirty    map[int]bool
 	prevSigs map[string]bool
@@ -357,9 +426,10 @@ type incrementalInputs struct {
 // cleanArtifacts exposes the pipeline state a Session caches for its next
 // incremental reclean.
 type cleanArtifacts struct {
-	prep   *compile.Prepared
-	shared *ddlog.SharedIndex
-	runner *shardRunner
+	prep     *compile.Prepared
+	shared   *ddlog.SharedIndex
+	interner *factor.KeyInterner
+	runner   *shardRunner
 	// plan is the full shard plan, including shards that were reused.
 	plan []shard
 }
@@ -439,9 +509,20 @@ func (cl *Cleaner) clean(ds *Dataset, constraints []*Constraint, inc *incrementa
 		return nil, nil, fmt.Errorf("holoclean: no repair signals (need constraints or match dependencies)")
 	}
 	start := time.Now()
+	mem := beginMemProbe()
 	o := cl.opts
 
+	// One canonical tying-key store per run (per session lifetime for
+	// recleans): every graph grounded below — the learning graph and all
+	// shards — shares it, so a distinct key's string is allocated once.
+	// Compilation's precomputed feature-name tables draw from it too.
+	interner := factor.NewKeyInterner()
+	if inc != nil && inc.interner != nil {
+		interner = inc.interner
+	}
+
 	copts := cl.compileOptions()
+	copts.Interner = interner
 	if inc != nil {
 		copts.Detection = inc.detection
 		copts.Hypergraph = inc.hypergraph
@@ -523,7 +604,7 @@ func (cl *Cleaner) clean(ds *Dataset, constraints []*Constraint, inc *incrementa
 		// --- Learning (Section 2.2: ERM over the likelihood via SGD), on
 		// the union of all shards' evidence cells so weights stay
 		// globally tied ---
-		learnG, err := groundLearning(prep, shared, o.MaxScanCounterparts)
+		learnG, err := groundLearning(prep, shared, interner, o.MaxScanCounterparts)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -548,10 +629,11 @@ func (cl *Cleaner) clean(ds *Dataset, constraints []*Constraint, inc *incrementa
 		learned = learnedWeights(learnG.Graph)
 		learnKeys = learnG.Graph.Weights.Keys
 	}
+	mem.sample() // phase boundary: compilation + learning done
 
 	// --- Per-shard grounding and inference on the worker pool ---
 	repaired := ds.Clone()
-	runner := newShardRunner(prep, o, shared, learned, res, repaired)
+	runner := newShardRunner(prep, o, shared, interner, learned, res, repaired)
 	for _, k := range learnKeys {
 		runner.weightKeys[k] = true
 	}
@@ -608,6 +690,7 @@ func (cl *Cleaner) clean(ds *Dataset, constraints []*Constraint, inc *incrementa
 		return res.Repairs[i].Cell.Attr < res.Repairs[j].Cell.Attr
 	})
 	res.Repaired = repaired
+	mem.finish(&res.Stats)
 	res.Stats.TotalTime = time.Since(start)
-	return res, &cleanArtifacts{prep: prep, shared: shared, runner: runner, plan: plan}, nil
+	return res, &cleanArtifacts{prep: prep, shared: shared, interner: interner, runner: runner, plan: plan}, nil
 }

@@ -17,6 +17,7 @@ import (
 	"holoclean/internal/ddlog"
 	"holoclean/internal/errordetect"
 	"holoclean/internal/extdict"
+	"holoclean/internal/factor"
 	"holoclean/internal/fusion"
 	"holoclean/internal/partition"
 	"holoclean/internal/pruning"
@@ -125,6 +126,11 @@ type Options struct {
 	// learning will run on the resulting model (weights are injected),
 	// since the per-shard graphs never hold evidence variables anyway.
 	SkipEvidence bool
+	// Interner, when non-nil, supplies canonical strings for the
+	// precomputed feature-identifier tables, so a session's successive
+	// Prepare calls (one per reclean) rebuild the table maps but not the
+	// strings themselves.
+	Interner *factor.KeyInterner
 }
 
 // DefaultOptions returns the paper's defaults: τ=0.5, relaxed constraints,
@@ -358,6 +364,11 @@ func Prepare(ds *dataset.Dataset, constraints []*dc.Constraint, opts Options) (*
 		DictPrior:       dictPrior,
 		RelaxedDCPrior:  rdcPrior,
 	}
+	if len(out.Groups) > 0 {
+		// Densify the Algorithm 3 groups once; every shard grounder of
+		// the run shares the table read-only.
+		db.GroupIndex = ddlog.BuildGroupIndex(len(bounds), ds.NumTuples(), out.Groups)
+	}
 	if !opts.DisableCooccurFeatures || (!opts.DisableSourceFeatures && ds.HasSources()) {
 		db.Features = featureFunc(ds, opts)
 	}
@@ -379,7 +390,7 @@ func Prepare(ds *dataset.Dataset, constraints []*dc.Constraint, opts Options) (*
 		// Source-reliability fusion [35]: tuples reporting the same entity
 		// attribute vote with accuracy-weighted shares.
 		votes := fusion.Estimate(ds, bounds, 0)
-		softs = append(softs, fusionFeatureFunc(votes))
+		softs = append(softs, fusionFeatureFunc(votes, ds.NumAttrs()))
 	}
 	if len(softs) > 0 {
 		db.SoftFeatures = func(c dataset.Cell, dom []int32) []ddlog.SoftFeature {
@@ -453,11 +464,65 @@ func buildProgram(bounds []*dc.Bound, opts Options) *ddlog.Program {
 // featureFunc returns the HasFeature materializer: co-occurrence features
 // from sibling cells ("the values of other cells in the same tuple") and
 // provenance features when lineage is available (Section 4.1).
+//
+// Feature identifiers are precomputed per distinct (attribute, value)
+// pair — and per distinct source — in one dataset scan, so the returned
+// materializer formats no strings: the grounding hot path pays one slice
+// allocation per cell instead of one string per sibling. The tables are
+// read-only after construction and therefore safe for the concurrent
+// per-shard grounders (that lock-freedom is why they are rebuilt per
+// Prepare rather than mutated across recleans); with an interner the
+// rebuild reuses the strings and re-allocates only the maps.
 func featureFunc(ds *dataset.Dataset, opts Options) func(dataset.Cell) []string {
+	n := ds.NumAttrs()
+	var buf []byte
+	mk := func(prefix string, suffix string) string {
+		if opts.Interner == nil {
+			return prefix + suffix
+		}
+		buf = append(append(buf[:0], prefix...), suffix...)
+		return opts.Interner.Intern(buf)
+	}
+	mkInt := func(prefix string, v int) string {
+		if opts.Interner == nil {
+			return prefix + strconv.Itoa(v)
+		}
+		buf = strconv.AppendInt(append(buf[:0], prefix...), int64(v), 10)
+		return opts.Interner.Intern(buf)
+	}
+	var names []map[dataset.Value]string
+	if !opts.DisableCooccurFeatures {
+		names = make([]map[dataset.Value]string, n)
+		for g := 0; g < n; g++ {
+			m := make(map[dataset.Value]string)
+			prefix := "c" + strconv.Itoa(g) + "="
+			for t := 0; t < ds.NumTuples(); t++ {
+				v := ds.Get(t, g)
+				if v == dataset.Null {
+					continue
+				}
+				if _, ok := m[v]; !ok {
+					m[v] = mkInt(prefix, int(v))
+				}
+			}
+			names[g] = m
+		}
+	}
+	var srcNames map[string]string
+	if !opts.DisableSourceFeatures && ds.HasSources() {
+		srcNames = make(map[string]string)
+		for t := 0; t < ds.NumTuples(); t++ {
+			if src := ds.Source(t); src != "" {
+				if _, ok := srcNames[src]; !ok {
+					srcNames[src] = mk("s=", src)
+				}
+			}
+		}
+	}
 	return func(c dataset.Cell) []string {
-		var out []string
-		if !opts.DisableCooccurFeatures {
-			for g := 0; g < ds.NumAttrs(); g++ {
+		out := make([]string, 0, n)
+		if names != nil {
+			for g := 0; g < n; g++ {
 				if g == c.Attr {
 					continue
 				}
@@ -465,12 +530,12 @@ func featureFunc(ds *dataset.Dataset, opts Options) func(dataset.Cell) []string 
 				if v == dataset.Null {
 					continue
 				}
-				out = append(out, "c"+strconv.Itoa(g)+"="+strconv.Itoa(int(v)))
+				out = append(out, names[g][v])
 			}
 		}
-		if !opts.DisableSourceFeatures {
+		if srcNames != nil {
 			if src := ds.Source(c.Tuple); src != "" {
-				out = append(out, "s="+src)
+				out = append(out, srcNames[src])
 			}
 		}
 		return out
@@ -497,6 +562,21 @@ func featureFunc(ds *dataset.Dataset, opts Options) func(dataset.Cell) []string 
 // only once are skipped — a unique key "predicting" its own tuple's
 // values is pure self-reference.
 func softFeatureFunc(ds *dataset.Dataset, st, masked *stats.Stats) func(dataset.Cell, []int32) []ddlog.SoftFeature {
+	// Tying keys depend only on the (attribute, sibling) pair, so the
+	// full key tables are built once here instead of per cell via strconv
+	// in the grounding loop.
+	n := ds.NumAttrs()
+	coocKeys := make([]string, n*n)
+	cclnKeys := make([]string, n*n)
+	freqKeys := make([]string, n)
+	for a := 0; a < n; a++ {
+		freqKeys[a] = "freq|" + strconv.Itoa(a)
+		for g := 0; g < n; g++ {
+			suffix := strconv.Itoa(a) + "|" + strconv.Itoa(g)
+			coocKeys[a*n+g] = "cooc|" + suffix
+			cclnKeys[a*n+g] = "ccln|" + suffix
+		}
+	}
 	family := func(c dataset.Cell, dom []int32, src *stats.Stats, g int, vg dataset.Value, key string, init float64) (ddlog.SoftFeature, bool) {
 		if len(src.GivenHistogram(c.Attr, g, vg)) == 0 {
 			return ddlog.SoftFeature{}, false
@@ -512,11 +592,7 @@ func softFeatureFunc(ds *dataset.Dataset, st, masked *stats.Stats) func(dataset.
 		if !any {
 			return ddlog.SoftFeature{}, false
 		}
-		return ddlog.SoftFeature{
-			Key:  key + strconv.Itoa(c.Attr) + "|" + strconv.Itoa(g),
-			H:    h,
-			Init: init,
-		}, true
+		return ddlog.SoftFeature{Key: key, H: h, Init: init}, true
 	}
 	return func(c dataset.Cell, dom []int32) []ddlog.SoftFeature {
 		var out []ddlog.SoftFeature
@@ -539,9 +615,9 @@ func softFeatureFunc(ds *dataset.Dataset, st, masked *stats.Stats) func(dataset.
 			for d, label := range dom {
 				freqH[d] = float64(masked.Freq(c.Attr, dataset.Value(label))) / float64(maxF)
 			}
-			out = append(out, ddlog.SoftFeature{Key: "freq|" + strconv.Itoa(c.Attr), H: freqH, Init: 1.0})
+			out = append(out, ddlog.SoftFeature{Key: freqKeys[c.Attr], H: freqH, Init: 1.0})
 		}
-		for g := 0; g < ds.NumAttrs(); g++ {
+		for g := 0; g < n; g++ {
 			if g == c.Attr {
 				continue
 			}
@@ -549,10 +625,10 @@ func softFeatureFunc(ds *dataset.Dataset, st, masked *stats.Stats) func(dataset.
 			if vg == dataset.Null || st.Freq(g, vg) < 2 {
 				continue
 			}
-			if f, ok := family(c, dom, st, g, vg, "cooc|", 0.5); ok {
+			if f, ok := family(c, dom, st, g, vg, coocKeys[c.Attr*n+g], 0.5); ok {
 				out = append(out, f)
 			}
-			if f, ok := family(c, dom, masked, g, vg, "ccln|", 1.0); ok {
+			if f, ok := family(c, dom, masked, g, vg, cclnKeys[c.Attr*n+g], 1.0); ok {
 				out = append(out, f)
 			}
 		}
@@ -562,8 +638,13 @@ func softFeatureFunc(ds *dataset.Dataset, st, masked *stats.Stats) func(dataset.
 
 // fusionFeatureFunc materializes the source-fusion signal: H[d] is the
 // accuracy-weighted vote share of candidate d among the tuples reporting
-// on the same entity attribute, with one learnable weight per attribute.
-func fusionFeatureFunc(votes *fusion.Votes) func(dataset.Cell, []int32) []ddlog.SoftFeature {
+// on the same entity attribute, with one learnable weight per attribute
+// (keys precomputed per attribute).
+func fusionFeatureFunc(votes *fusion.Votes, numAttrs int) func(dataset.Cell, []int32) []ddlog.SoftFeature {
+	keys := make([]string, numAttrs)
+	for a := range keys {
+		keys[a] = "fusion|" + strconv.Itoa(a)
+	}
 	return func(c dataset.Cell, dom []int32) []ddlog.SoftFeature {
 		h := make([]float64, len(dom))
 		any := false
@@ -580,7 +661,7 @@ func fusionFeatureFunc(votes *fusion.Votes) func(dataset.Cell, []int32) []ddlog.
 		if !any {
 			return nil
 		}
-		return []ddlog.SoftFeature{{Key: "fusion|" + strconv.Itoa(c.Attr), H: h, Init: 3.0}}
+		return []ddlog.SoftFeature{{Key: keys[c.Attr], H: h, Init: 3.0}}
 	}
 }
 

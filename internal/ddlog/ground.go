@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"sync"
 
 	"holoclean/internal/dataset"
 	"holoclean/internal/dc"
@@ -48,10 +49,21 @@ type Database struct {
 	// Groups are the Algorithm 3 tuple groups; nil disables partitioning
 	// even for rules that request it.
 	Groups []partition.Group
+	// GroupIndex is the dense constraint → tuple → group-id (-1 = none)
+	// view of Groups, built once per run with BuildGroupIndex and shared
+	// read-only by every shard grounder. Nil makes each grounder build
+	// its own lazily (hand-wired databases, tests).
+	GroupIndex [][]int32
 	// Shared, when non-nil, supplies dataset-wide indexes shared across
 	// the per-shard grounders of the sharded pipeline. Nil keeps the
 	// original per-grounder lazy indexes (the monolithic path).
 	Shared *SharedIndex
+	// Interner, when non-nil, is the canonical tying-key store shared by
+	// every graph grounded from this database (all shards of a run, and a
+	// session's successive recleans). With it, grounding allocates each
+	// distinct key string at most once per interner lifetime; the
+	// per-factor key path in the hot loops never allocates at all.
+	Interner *factor.KeyInterner
 	// Scope, when non-nil, restricts DC-factor grounding to one shard:
 	// pairs that reach a noisy tuple outside the shard are skipped (see
 	// Scope). Nil grounds every pair (monolithic behavior).
@@ -72,6 +84,11 @@ type Config struct {
 	// query cells become factorless domain stubs, and the evidence cells
 	// carry exactly the factors they carry in a monolithic grounding.
 	FactorCells func(c dataset.Cell) bool
+	// Arena, when non-nil, supplies the grounder's scratch memory so
+	// repeated groundings (per-shard, per-reclean) reuse backing arrays.
+	// The returned Grounded borrows the arena's cell→variable map; see
+	// Arena for the release contract.
+	Arena *Arena
 }
 
 // wantFactors reports whether per-cell factor rules should ground factors
@@ -106,14 +123,72 @@ type SoftFeature struct {
 	Init float64
 }
 
+// CellVars is a dense cell → variable-id map: one slot per (tuple,
+// attribute) pair of the dataset. It replaces the map[dataset.Cell]int32
+// the grounder's per-pair loops used to probe, turning every lookup into
+// one multiply-add and two array reads. Slots are validated by an epoch
+// mark rather than cleared, so resetting a pooled instance between
+// shard groundings is O(1) — a per-shard memset of a tuples×attrs array
+// would make grounding cost O(dataset) per shard regardless of shard
+// size.
+type CellVars struct {
+	attrs int
+	ids   []int32
+	mark  []int32
+	epoch int32
+}
+
+// NewCellVars returns an all-empty map sized tuples×attrs.
+func NewCellVars(tuples, attrs int) *CellVars {
+	cv := &CellVars{}
+	cv.reset(tuples, attrs)
+	return cv
+}
+
+// reset resizes to tuples×attrs and invalidates every slot by bumping
+// the epoch, reusing the backing arrays when their capacity suffices
+// (the arena-pooling path).
+func (cv *CellVars) reset(tuples, attrs int) {
+	n := tuples * attrs
+	cv.attrs = attrs
+	if cap(cv.ids) >= n {
+		cv.ids = cv.ids[:n]
+		cv.mark = cv.mark[:n]
+	} else {
+		cv.ids = make([]int32, n)
+		cv.mark = make([]int32, n)
+		cv.epoch = 0
+	}
+	cv.epoch++
+	if cv.epoch == 0 { // wrapped: stale marks may alias epoch 0
+		clear(cv.mark)
+		cv.epoch = 1
+	}
+}
+
+// Get returns the variable id of cell c, if one exists.
+func (cv *CellVars) Get(c dataset.Cell) (int32, bool) {
+	i := c.Tuple*cv.attrs + c.Attr
+	if cv.mark[i] != cv.epoch {
+		return -1, false
+	}
+	return cv.ids[i], true
+}
+
+func (cv *CellVars) set(c dataset.Cell, v int32) {
+	i := c.Tuple*cv.attrs + c.Attr
+	cv.ids[i] = v
+	cv.mark[i] = cv.epoch
+}
+
 // Grounded is the result of grounding a program: the factor graph plus
 // the cell↔variable correspondence.
 type Grounded struct {
 	Graph *factor.Graph
 	// Cells maps variable id → cell.
 	Cells []dataset.Cell
-	// VarOf maps cell → variable id.
-	VarOf map[dataset.Cell]int32
+	// VarOf maps cell → variable id (dense; see CellVars).
+	VarOf *CellVars
 	Stats Stats
 }
 
@@ -127,27 +202,95 @@ func (g *Grounded) Domain(v int32) []dataset.Value {
 	return out
 }
 
+// Arena is the reusable per-grounding scratch memory: the dense cell→var
+// map, label/key build buffers, the relaxed-DC candidate counters, and an
+// epoch-marked tuple set. The sharded pipeline pools arenas across its
+// worker goroutines and across Session recleans (AcquireArena /
+// ReleaseArena), so a steady stream of shard groundings reuses the same
+// few backing arrays. A Grounded produced with an arena borrows the
+// arena's CellVars: release the arena only after the grounded graph's
+// VarOf is no longer needed.
+type Arena struct {
+	cellVars  CellVars
+	labelBuf  []int32
+	keyBuf    []byte
+	counts    []int32
+	seenMark  []int32
+	seenEpoch int32
+}
+
+var arenaPool = sync.Pool{New: func() any { return new(Arena) }}
+
+// AcquireArena returns a pooled grounding arena, possibly warm.
+func AcquireArena() *Arena { return arenaPool.Get().(*Arena) }
+
+// ReleaseArena returns an arena to the pool. The caller must be done with
+// every Grounded that borrowed it.
+func ReleaseArena(a *Arena) { arenaPool.Put(a) }
+
+// seen reports and records whether tuple t was already seen in the
+// current epoch. Epoch bumping makes clearing O(1); the mark array is
+// sized to the dataset once and reused.
+func (a *Arena) seen(t int) bool {
+	if a.seenMark[t] == a.seenEpoch {
+		return true
+	}
+	a.seenMark[t] = a.seenEpoch
+	return false
+}
+
+// nextSeen starts a fresh seen-set epoch for a dataset of n tuples.
+// Marks are cleared to 0 and epoch 0 is never used, so a stale slot can
+// only collide with a live epoch after a full wrap cycle — which passes
+// through 0 and re-clears the array first. (Clearing to any reachable
+// epoch value, like -1, would make stale slots falsely "seen" once the
+// epoch counter reached it.)
+func (a *Arena) nextSeen(n int) {
+	if len(a.seenMark) < n {
+		a.seenMark = make([]int32, n)
+		a.seenEpoch = 0
+	}
+	a.seenEpoch++
+	if a.seenEpoch == 0 { // wrapped
+		clear(a.seenMark)
+		a.seenEpoch = 1
+	}
+}
+
 type grounder struct {
 	db      *Database
 	cfg     Config
 	g       *factor.Graph
 	out     *Grounded
-	sym     map[int]bool                    // constraint → symmetric under tuple swap
-	grp     map[int]map[int]int             // constraint → tuple → group id
-	initIdx map[int]map[dataset.Value][]int // attribute → initial value → tuples
+	ar      *Arena
+	sym     []int8                    // constraint → -1 unknown / 0 no / 1 symmetric under tuple swap
+	grp     [][]int32                 // lazy local group index (nil until first sameGroup without db.GroupIndex)
+	initIdx []map[dataset.Value][]int // attribute → initial value → tuples; nil = unbuilt
 }
 
 // Ground evaluates every rule of the program against the database and
-// returns the factor graph.
+// returns the factor graph. When cfg.Arena is non-nil the grounder draws
+// its scratch structures from it (see Arena).
 func Ground(db *Database, prog *Program, cfg Config) (*Grounded, error) {
-	gr := &grounder{
-		db:  db,
-		cfg: cfg,
-		g:   factor.NewGraph(),
-		sym: make(map[int]bool),
-		grp: make(map[int]map[int]int),
+	ar := cfg.Arena
+	if ar == nil {
+		ar = new(Arena)
 	}
-	gr.out = &Grounded{Graph: gr.g, VarOf: make(map[dataset.Cell]int32)}
+	ar.cellVars.reset(db.DS.NumTuples(), db.DS.NumAttrs())
+	ar.nextSeen(db.DS.NumTuples())
+	gr := &grounder{
+		db:      db,
+		cfg:     cfg,
+		g:       factor.NewGraph(),
+		ar:      ar,
+		sym:     make([]int8, len(db.Bounds)),
+		initIdx: make([]map[dataset.Value][]int, db.DS.NumAttrs()),
+	}
+	for i := range gr.sym {
+		gr.sym[i] = -1
+	}
+	gr.g.Weights.Interner = db.Interner
+	gr.out = &Grounded{Graph: gr.g, VarOf: &ar.cellVars}
 	dict := db.DS.Dict()
 	gr.g.Cmp = func(op uint8, a, b int32) bool {
 		return dc.Compare(dc.Op(op), dict.String(dataset.Value(a)), dict.String(dataset.Value(b)))
@@ -195,7 +338,9 @@ func Ground(db *Database, prog *Program, cfg Config) (*Grounded, error) {
 }
 
 // groundVariables creates one query variable per noisy cell and one
-// evidence variable per sampled clean cell.
+// evidence variable per sampled clean cell. Labels are staged in the
+// arena's reusable buffer; AddVariable copies them into the graph's flat
+// domain arena.
 func (gr *grounder) groundVariables() {
 	db := gr.db
 	for i, c := range db.Domains.Cells {
@@ -203,39 +348,41 @@ func (gr *grounder) groundVariables() {
 		if len(cands) == 0 {
 			continue // nothing to infer; cell keeps its value
 		}
-		labels := make([]int32, len(cands))
+		labels := gr.ar.labelBuf[:0]
 		obs := int32(-1)
 		init := db.DS.Get(c.Tuple, c.Attr)
 		for j, v := range cands {
-			labels[j] = int32(v)
+			labels = append(labels, int32(v))
 			if v == init && init != dataset.Null {
 				obs = int32(j)
 			}
 		}
+		gr.ar.labelBuf = labels
 		v := gr.g.AddVariable(labels, false, obs)
-		gr.out.VarOf[c] = v
+		gr.out.VarOf.set(c, v)
 		gr.out.Cells = append(gr.out.Cells, c)
 		gr.out.Stats.QueryVars++
 	}
 	for i, c := range db.Evidence {
-		if _, dup := gr.out.VarOf[c]; dup {
+		if _, dup := gr.out.VarOf.Get(c); dup {
 			continue // a cell cannot be both noisy and evidence
 		}
 		cands := db.EvidenceDomains[i]
 		obsVal := db.DS.Get(c.Tuple, c.Attr)
-		labels := make([]int32, len(cands))
+		labels := gr.ar.labelBuf[:0]
 		obs := int32(-1)
 		for j, v := range cands {
-			labels[j] = int32(v)
+			labels = append(labels, int32(v))
 			if v == obsVal {
 				obs = int32(j)
 			}
 		}
+		gr.ar.labelBuf = labels
 		if obs < 0 {
 			continue // observed value pruned away; unusable as evidence
 		}
 		v := gr.g.AddVariable(labels, true, obs)
-		gr.out.VarOf[c] = v
+		gr.out.VarOf.set(c, v)
 		gr.out.Cells = append(gr.out.Cells, c)
 		gr.out.Stats.EvidenceVars++
 	}
@@ -248,7 +395,6 @@ func (gr *grounder) groundFeatures() {
 	if gr.db.Features == nil && gr.db.SoftFeatures == nil {
 		return
 	}
-	var key []byte
 	for vi, c := range gr.out.Cells {
 		if !gr.cfg.wantFactors(c) {
 			continue
@@ -258,14 +404,19 @@ func (gr *grounder) groundFeatures() {
 		if gr.db.Features != nil {
 			for _, f := range gr.db.Features(c) {
 				for d, label := range dom {
-					key = key[:0]
+					// The key is staged in the arena buffer and looked up
+					// with IDBytes: the per-factor path allocates no key
+					// string once the key is known to the weight store
+					// (or, with a shared interner, to any prior grounding).
+					key := gr.ar.keyBuf[:0]
 					key = append(key, "ft|"...)
 					key = strconv.AppendInt(key, int64(c.Attr), 10)
 					key = append(key, '|')
 					key = strconv.AppendInt(key, int64(label), 10)
 					key = append(key, '|')
 					key = append(key, f...)
-					wid := gr.g.Weights.ID(string(key), 0, false)
+					gr.ar.keyBuf = key
+					wid := gr.g.Weights.IDBytes(key, 0, false)
 					gr.g.AddUnary(v, int32(d), wid, false, 1)
 					gr.out.Stats.PaperFactors++
 				}
@@ -288,7 +439,7 @@ func (gr *grounder) groundFeatures() {
 // city), so such suggestions must not carry the full dictionary prior.
 func (gr *grounder) groundMatches() {
 	for _, m := range gr.db.Matches {
-		v, ok := gr.out.VarOf[m.Cell]
+		v, ok := gr.out.VarOf.Get(m.Cell)
 		if !ok || !gr.cfg.wantFactors(m.Cell) {
 			continue
 		}
@@ -296,19 +447,22 @@ func (gr *grounder) groundMatches() {
 		if !ok {
 			continue
 		}
-		key := "dict|" + m.Dict
+		key := gr.ar.keyBuf[:0]
+		key = append(key, "dict|"...)
+		key = append(key, m.Dict...)
 		prior := gr.db.DictPrior
 		for _, cc := range m.CondCells {
 			if jv := gr.queryVarOf(cc); jv >= 0 && len(gr.g.Vars[jv].Domain) >= 2 {
-				key += "|weak"
+				key = append(key, "|weak"...)
 				prior /= 2
 				break
 			}
 		}
+		gr.ar.keyBuf = key
 		dom := gr.g.Vars[v].Domain
 		for d, l := range dom {
 			if l == int32(label) {
-				wid := gr.g.Weights.ID(key, prior, false)
+				wid := gr.g.Weights.IDBytes(key, prior, false)
 				gr.g.AddUnary(v, int32(d), wid, false, 1)
 				gr.out.Stats.PaperFactors++
 				break
@@ -338,7 +492,7 @@ func (gr *grounder) groundMinimality(weight float64) {
 // queryVarOf returns the query variable of a cell, or -1 when the cell is
 // clean or evidence (treated as a constant during DC grounding).
 func (gr *grounder) queryVarOf(c dataset.Cell) int32 {
-	if v, ok := gr.out.VarOf[c]; ok && !gr.g.Vars[v].Evidence {
+	if v, ok := gr.out.VarOf.Get(c); ok && !gr.g.Vars[v].Evidence {
 		return v
 	}
 	return -1
@@ -357,38 +511,69 @@ func (gr *grounder) candidateLabels(c dataset.Cell) []int32 {
 	return []int32{int32(init)}
 }
 
-// groupsFor lazily builds the constraint's tuple → group index.
-func (gr *grounder) groupsFor(ci int) map[int]int {
-	if m, ok := gr.grp[ci]; ok {
-		return m
-	}
-	m := make(map[int]int)
-	for gi, g := range gr.db.Groups {
-		if g.Constraint != ci {
-			continue
+// BuildGroupIndex densifies Algorithm 3 tuple groups into one
+// constraint-indexed tuple → group-id table (-1 = no group). The sharded
+// pipeline builds it once per run (compile.Prepare) so the K shard
+// grounders share it instead of each allocating constraint × tuples
+// arrays.
+func BuildGroupIndex(numConstraints, numTuples int, groups []partition.Group) [][]int32 {
+	idx := make([][]int32, numConstraints)
+	for gi, g := range groups {
+		m := idx[g.Constraint]
+		if m == nil {
+			m = make([]int32, numTuples)
+			for i := range m {
+				m[i] = -1
+			}
+			idx[g.Constraint] = m
 		}
 		for _, t := range g.Tuples {
-			m[t] = gi
+			m[t] = int32(gi)
 		}
 	}
-	gr.grp[ci] = m
-	return m
+	// Constraints with no groups share one read-only all-(-1) row rather
+	// than each allocating numTuples of identical sentinel.
+	var empty []int32
+	for ci := range idx {
+		if idx[ci] == nil {
+			if empty == nil {
+				empty = make([]int32, numTuples)
+				for i := range empty {
+					empty[i] = -1
+				}
+			}
+			idx[ci] = empty
+		}
+	}
+	return idx
+}
+
+// groupsFor returns the constraint's dense tuple → group index, from the
+// shared per-run table when the database carries one, else built lazily
+// per grounder (one BuildGroupIndex call populates every constraint's
+// row, so the fallback stays linear in constraints).
+func (gr *grounder) groupsFor(ci int) []int32 {
+	if gr.db.GroupIndex != nil {
+		return gr.db.GroupIndex[ci]
+	}
+	if gr.grp == nil {
+		gr.grp = BuildGroupIndex(len(gr.db.Bounds), gr.db.DS.NumTuples(), gr.db.Groups)
+	}
+	return gr.grp[ci]
 }
 
 // sameGroup reports whether t1 and t2 share an Algorithm 3 group for
 // constraint ci.
 func (gr *grounder) sameGroup(ci, t1, t2 int) bool {
 	m := gr.groupsFor(ci)
-	g1, ok1 := m[t1]
-	g2, ok2 := m[t2]
-	return ok1 && ok2 && g1 == g2
+	return m[t1] >= 0 && m[t1] == m[t2]
 }
 
 // isSymmetric reports whether swapping t1 and t2 yields the same
 // constraint, in which case unordered pair enumeration suffices.
 func (gr *grounder) isSymmetric(ci int) bool {
-	if s, ok := gr.sym[ci]; ok {
-		return s
+	if s := gr.sym[ci]; s >= 0 {
+		return s == 1
 	}
 	b := gr.db.Bounds[ci]
 	orig := canonicalPreds(b, false)
@@ -404,7 +589,11 @@ func (gr *grounder) isSymmetric(ci int) bool {
 			}
 		}
 	}
-	gr.sym[ci] = s
+	if s {
+		gr.sym[ci] = 1
+	} else {
+		gr.sym[ci] = 0
+	}
 	return s
 }
 

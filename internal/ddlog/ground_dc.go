@@ -125,22 +125,44 @@ func containsLabel(dom []int32, l int32) bool {
 
 // tuplesWithQueryRef returns the tuples that own at least one query
 // variable among the constraint's attribute references for the given
-// tuple role (or either role when role == -1).
+// tuple role (or either role when role == -1). Dedup goes through the
+// arena's epoch-marked tuple set, so repeated rule groundings allocate no
+// per-call maps.
 func (gr *grounder) tuplesWithQueryRef(b *dc.Bound, role int) []int {
-	attrs := make(map[int]bool)
+	var attrs uint64 // attribute ids are small; overflow falls back below
+	var attrsBig map[int]bool
 	for _, r := range CellRefs(b) {
 		if role == -1 || r.TupleVar == role {
-			attrs[r.Attr] = true
+			if r.Attr < 64 && attrsBig == nil {
+				attrs |= 1 << uint(r.Attr)
+			} else {
+				if attrsBig == nil {
+					attrsBig = make(map[int]bool)
+					for a := 0; a < 64; a++ {
+						if attrs&(1<<uint(a)) != 0 {
+							attrsBig[a] = true
+						}
+					}
+				}
+				attrsBig[r.Attr] = true
+			}
 		}
 	}
-	seen := make(map[int]bool)
+	hasAttr := func(a int) bool {
+		if attrsBig != nil {
+			return attrsBig[a]
+		}
+		return a < 64 && attrs&(1<<uint(a)) != 0
+	}
+	gr.ar.nextSeen(gr.db.DS.NumTuples())
 	var out []int
 	for vi, c := range gr.out.Cells {
-		if gr.g.Vars[vi].Evidence || !attrs[c.Attr] || seen[c.Tuple] {
+		if gr.g.Vars[vi].Evidence || !hasAttr(c.Attr) {
 			continue
 		}
-		seen[c.Tuple] = true
-		out = append(out, c.Tuple)
+		if !gr.ar.seen(c.Tuple) {
+			out = append(out, c.Tuple)
+		}
 	}
 	return out
 }

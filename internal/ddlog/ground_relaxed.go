@@ -35,20 +35,31 @@ func (gr *grounder) groundRelaxedDC(rule *Rule) error {
 		}
 	}
 
-	counts := make(map[int32]int32)
 	for vi, c := range gr.out.Cells {
 		if c.Attr != hr.Attr || !gr.cfg.wantFactors(c) {
 			continue
 		}
 		v := int32(vi)
 		dom := gr.g.Vars[v].Domain
-		clear(counts)
+		// Per-candidate violation counters, indexed by domain position,
+		// staged in the arena (the old map-keyed counters churned map
+		// operations on every counterpart).
+		if cap(gr.ar.counts) >= len(dom) {
+			gr.ar.counts = gr.ar.counts[:len(dom)]
+		} else {
+			gr.ar.counts = make([]int32, len(dom))
+		}
+		counts := gr.ar.counts
+		for d := range counts {
+			counts[d] = 0
+		}
 		var total int32
 		scale := 1.0
+		rc := relaxCtx{b: b, hr: hr, c: c, dom: dom, headPreds: headPreds, bodyPreds: bodyPreds, counts: counts}
 		if b.TupleVars == 1 {
-			total = gr.relaxSingle(b, hr, c, dom, headPreds, bodyPreds, counts)
+			total = gr.relaxSingle(&rc)
 		} else {
-			total, scale = gr.relaxPair(b, hr, c, dom, headPreds, bodyPreds, counts)
+			total, scale = gr.relaxPair(&rc)
 		}
 		if total == 0 {
 			continue
@@ -56,7 +67,7 @@ func (gr *grounder) groundRelaxedDC(rule *Rule) error {
 		h := make([]float64, len(dom))
 		any := false
 		for d := range dom {
-			if cnt := counts[int32(d)]; cnt > 0 {
+			if cnt := counts[d]; cnt > 0 {
 				h[d] = -scale * float64(cnt) / float64(total)
 				any = true
 				gr.out.Stats.PaperFactors += int64(cnt)
@@ -71,27 +82,48 @@ func (gr *grounder) groundRelaxedDC(rule *Rule) error {
 	return nil
 }
 
+// relaxCtx carries one head cell's relaxed-grounding state through the
+// counterpart loops. Passing it explicitly (rather than capturing it in
+// closures) keeps the per-cell loop free of heap-allocated closures.
+type relaxCtx struct {
+	b         *dc.Bound
+	hr        CellRef
+	c         dataset.Cell
+	dom       []int32
+	headPreds []int
+	bodyPreds []int
+	counts    []int32
+}
+
+// tups returns the (t1, t2) pair with the head tuple in its role.
+func (rc *relaxCtx) tups(t2 int) [2]int {
+	if rc.hr.TupleVar == 0 {
+		return [2]int{rc.c.Tuple, t2}
+	}
+	return [2]int{t2, rc.c.Tuple}
+}
+
 // relaxSingle handles single-tuple constraints: candidates completing the
 // violation with the tuple's own initial values get one negative
 // grounding. It returns the number of counterpart groundings (1 when the
 // body holds).
-func (gr *grounder) relaxSingle(b *dc.Bound, hr CellRef, c dataset.Cell, dom []int32, headPreds, bodyPreds []int, counts map[int32]int32) int32 {
-	tups := [2]int{c.Tuple, -1}
-	for _, i := range bodyPreds {
-		if !b.HoldsPred(i, tups[0], tups[1]) {
+func (gr *grounder) relaxSingle(rc *relaxCtx) int32 {
+	tups := [2]int{rc.c.Tuple, -1}
+	for _, i := range rc.bodyPreds {
+		if !rc.b.HoldsPred(i, tups[0], tups[1]) {
 			return 0
 		}
 	}
-	for d, label := range dom {
+	for d, label := range rc.dom {
 		ok := true
-		for _, i := range headPreds {
-			if !gr.predHyp(b, i, tups, hr, label) {
+		for _, i := range rc.headPreds {
+			if !gr.predHyp(rc.b, i, tups, rc.hr, label) {
 				ok = false
 				break
 			}
 		}
 		if ok {
-			counts[int32(d)]++
+			rc.counts[d]++
 		}
 	}
 	return 1
@@ -105,51 +137,13 @@ func (gr *grounder) relaxSingle(b *dc.Bound, hr CellRef, c dataset.Cell, dom []i
 // itself noisy (the body-join cell of the head tuple), the testimony is
 // halved — the violation may be resolvable by repairing that cell instead,
 // the multi-cell blind spot Section 5.2 acknowledges.
-func (gr *grounder) relaxPair(b *dc.Bound, hr CellRef, c dataset.Cell, dom []int32, headPreds, bodyPreds []int, counts map[int32]int32) (int32, float64) {
+func (gr *grounder) relaxPair(rc *relaxCtx) (int32, float64) {
 	ds := gr.db.DS
 	var total int32
-	tupsFor := func(t2 int) [2]int {
-		if hr.TupleVar == 0 {
-			return [2]int{c.Tuple, t2}
-		}
-		return [2]int{t2, c.Tuple}
-	}
-	// checkCounterpart accumulates violation counts for one counterpart
-	// and reports whether its body predicates held. The caller decides
-	// what enters the fraction denominator: for a body-equality join the
-	// relevant counterparts are the body-passers (the conflict context),
-	// while for a head-equality join every join-matched counterpart is
-	// relevant — otherwise a candidate with a single conflicting
-	// counterpart would always score the full −1.
-	checkCounterpart := func(t2 int) bool {
-		if t2 == c.Tuple {
-			return false
-		}
-		tups := tupsFor(t2)
-		gr.out.Stats.PairsChecked++
-		for _, i := range bodyPreds {
-			if !b.HoldsPred(i, tups[0], tups[1]) {
-				return false
-			}
-		}
-		for d, label := range dom {
-			ok := true
-			for _, i := range headPreds {
-				if !gr.predHyp(b, i, tups, hr, label) {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				counts[int32(d)]++
-			}
-		}
-		return true
-	}
 
 	// Strategy 1: body equality join on initial values.
-	if pi, headAttr, otherAttr := gr.bodyEqJoin(b, hr, bodyPreds); pi >= 0 {
-		probe := ds.Get(c.Tuple, headAttr)
+	if pi, headAttr, otherAttr := gr.bodyEqJoin(rc.b, rc.hr, rc.bodyPreds); pi >= 0 {
+		probe := ds.Get(rc.c.Tuple, headAttr)
 		if probe == dataset.Null {
 			return 0, 1
 		}
@@ -157,29 +151,29 @@ func (gr *grounder) relaxPair(b *dc.Bound, hr CellRef, c dataset.Cell, dom []int
 		// The discount applies only when the join cell has an actual
 		// alternative: a flagged cell with a singleton domain cannot be
 		// the repair that resolves the violation.
-		if jv := gr.queryVarOf(dataset.Cell{Tuple: c.Tuple, Attr: headAttr}); jv >= 0 && len(gr.g.Vars[jv].Domain) >= 2 {
+		if jv := gr.queryVarOf(dataset.Cell{Tuple: rc.c.Tuple, Attr: headAttr}); jv >= 0 && len(gr.g.Vars[jv].Domain) >= 2 {
 			scale = 0.5
 		}
 		for _, t2 := range gr.initIndex(otherAttr)[probe] {
-			if checkCounterpart(t2) {
+			if gr.checkCounterpart(rc, t2) {
 				total++
 			}
 		}
 		return total, scale
 	}
 	// Strategy 2: the head predicate itself is an equality — candidates
-	// index directly into the counterpart side.
-	if pi, otherAttr := gr.headEqJoin(b, hr, headPreds); pi >= 0 {
+	// index directly into the counterpart side. The per-cell dedup set is
+	// the arena's epoch-marked tuple set, not a fresh map.
+	if pi, otherAttr := gr.headEqJoin(rc.b, rc.hr, rc.headPreds); pi >= 0 {
 		idx := gr.initIndex(otherAttr)
-		seen := make(map[int]bool)
-		for _, label := range dom {
+		gr.ar.nextSeen(ds.NumTuples())
+		for _, label := range rc.dom {
 			for _, t2 := range idx[dataset.Value(label)] {
-				if !seen[t2] {
-					seen[t2] = true
-					if t2 != c.Tuple {
+				if !gr.ar.seen(t2) {
+					if t2 != rc.c.Tuple {
 						total++
 					}
-					checkCounterpart(t2)
+					gr.checkCounterpart(rc, t2)
 				}
 			}
 		}
@@ -190,10 +184,10 @@ func (gr *grounder) relaxPair(b *dc.Bound, hr CellRef, c dataset.Cell, dom []int
 	cap := gr.cfg.MaxScanCounterparts
 	cnt := 0
 	for t2 := 0; t2 < n; t2++ {
-		if t2 == c.Tuple {
+		if t2 == rc.c.Tuple {
 			continue
 		}
-		if checkCounterpart(t2) {
+		if gr.checkCounterpart(rc, t2) {
 			total++
 		}
 		cnt++
@@ -202,6 +196,39 @@ func (gr *grounder) relaxPair(b *dc.Bound, hr CellRef, c dataset.Cell, dom []int
 		}
 	}
 	return total, 1
+}
+
+// checkCounterpart accumulates violation counts for one counterpart and
+// reports whether its body predicates held. The caller decides what
+// enters the fraction denominator: for a body-equality join the relevant
+// counterparts are the body-passers (the conflict context), while for a
+// head-equality join every join-matched counterpart is relevant —
+// otherwise a candidate with a single conflicting counterpart would
+// always score the full −1.
+func (gr *grounder) checkCounterpart(rc *relaxCtx, t2 int) bool {
+	if t2 == rc.c.Tuple {
+		return false
+	}
+	tups := rc.tups(t2)
+	gr.out.Stats.PairsChecked++
+	for _, i := range rc.bodyPreds {
+		if !rc.b.HoldsPred(i, tups[0], tups[1]) {
+			return false
+		}
+	}
+	for d, label := range rc.dom {
+		ok := true
+		for _, i := range rc.headPreds {
+			if !gr.predHyp(rc.b, i, tups, rc.hr, label) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			rc.counts[d]++
+		}
+	}
+	return true
 }
 
 // bodyEqJoin finds a body equality predicate across tuple variables and
@@ -240,15 +267,13 @@ func (gr *grounder) headEqJoin(b *dc.Bound, hr CellRef, headPreds []int) (pi, ot
 	return -1, 0
 }
 
-// initIndexCache maps attribute → (initial value → tuples). When the
-// database carries a SharedIndex the per-attribute build is delegated to
-// it (and so happens once across all shards); the per-grounder map still
-// caches the pointer to skip the shared lock on repeat lookups.
+// initIndex returns the initial-value index of attr (value → tuples).
+// When the database carries a SharedIndex the per-attribute build is
+// delegated to it (and so happens once across all shards); the grounder's
+// dense attribute-indexed cache still skips the shared lock on repeat
+// lookups.
 func (gr *grounder) initIndex(attr int) map[dataset.Value][]int {
-	if gr.initIdx == nil {
-		gr.initIdx = make(map[int]map[dataset.Value][]int)
-	}
-	if idx, ok := gr.initIdx[attr]; ok {
+	if idx := gr.initIdx[attr]; idx != nil {
 		return idx
 	}
 	if gr.db.Shared != nil {

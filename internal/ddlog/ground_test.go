@@ -262,7 +262,7 @@ func TestGroundRelaxedDC(t *testing.T) {
 	// For tuple 1 (zip 60609, conflicting with 60608 ×2): candidate
 	// 60608 violates nothing (counterparts hold 60608); candidate 60609
 	// violates both counterparts.
-	v1 := g.VarOf[dataset.Cell{Tuple: 1, Attr: 1}]
+	v1, _ := g.VarOf.Get(dataset.Cell{Tuple: 1, Attr: 1})
 	var soft *SoftFeature
 	for i := range g.Graph.Softs {
 		s := &g.Graph.Softs[i]
@@ -335,7 +335,7 @@ func TestGroundEvidence(t *testing.T) {
 	if g.Stats.EvidenceVars != 1 {
 		t.Fatalf("evidence vars = %d, want 1", g.Stats.EvidenceVars)
 	}
-	ev := g.VarOf[dataset.Cell{Tuple: 3, Attr: 1}]
+	ev, _ := g.VarOf.Get(dataset.Cell{Tuple: 3, Attr: 1})
 	if !g.Graph.Vars[ev].Evidence {
 		t.Errorf("cell should be evidence")
 	}

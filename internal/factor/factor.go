@@ -28,6 +28,7 @@ package factor
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Op codes for n-ary factor predicates. They mirror dc.Op but live here so
@@ -102,6 +103,48 @@ type Nary struct {
 	Weight int32
 }
 
+// KeyInterner is a canonical store for tying-key strings, shared across
+// the weight stores of many graphs (the per-shard graphs of one pipeline
+// run, or every reclean of a session). Grounding builds keys into reusable
+// byte buffers; the interner hands back one canonical string per distinct
+// key, so a key's string is allocated once per interner lifetime no matter
+// how many factors or graphs reference it. Safe for concurrent use.
+type KeyInterner struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+// NewKeyInterner returns an empty interner.
+func NewKeyInterner() *KeyInterner {
+	return &KeyInterner{m: make(map[string]string)}
+}
+
+// Intern returns the canonical string for key, allocating only on the
+// first sighting of a distinct key.
+func (ki *KeyInterner) Intern(key []byte) string {
+	ki.mu.RLock()
+	s, ok := ki.m[string(key)] // no-alloc map lookup
+	ki.mu.RUnlock()
+	if ok {
+		return s
+	}
+	ki.mu.Lock()
+	defer ki.mu.Unlock()
+	if s, ok := ki.m[string(key)]; ok {
+		return s
+	}
+	s = string(key)
+	ki.m[s] = s
+	return s
+}
+
+// Len reports the number of distinct interned keys.
+func (ki *KeyInterner) Len() int {
+	ki.mu.RLock()
+	defer ki.mu.RUnlock()
+	return len(ki.m)
+}
+
 // Weights is the tied-weight store. Keys identify parameter-tying groups,
 // e.g. "feat|City|Chicago|Zip=60608" or "dict|zipdb". Fixed weights are
 // priors excluded from learning.
@@ -110,6 +153,10 @@ type Weights struct {
 	Fixed []bool
 	Keys  []string
 	ids   map[string]int32
+	// Interner, when non-nil, supplies canonical strings for keys first
+	// registered through IDBytes, so distinct graphs sharing one interner
+	// also share one string per key.
+	Interner *KeyInterner
 }
 
 // NewWeights returns an empty weight store.
@@ -123,6 +170,28 @@ func (w *Weights) ID(key string, init float64, fixed bool) int32 {
 	if id, ok := w.ids[key]; ok {
 		return id
 	}
+	return w.add(key, init, fixed)
+}
+
+// IDBytes is ID for keys built in reusable byte buffers: the hot
+// grounding loops call it once per factor, and a warm lookup (the key is
+// already registered) performs zero allocations. A miss materializes the
+// key through the interner when one is attached, so even first sightings
+// allocate at most one string per distinct key per interner lifetime.
+func (w *Weights) IDBytes(key []byte, init float64, fixed bool) int32 {
+	if id, ok := w.ids[string(key)]; ok { // no-alloc map lookup
+		return id
+	}
+	var ks string
+	if w.Interner != nil {
+		ks = w.Interner.Intern(key)
+	} else {
+		ks = string(key)
+	}
+	return w.add(ks, init, fixed)
+}
+
+func (w *Weights) add(key string, init float64, fixed bool) int32 {
 	id := int32(len(w.W))
 	w.W = append(w.W, init)
 	w.Fixed = append(w.Fixed, fixed)
@@ -145,7 +214,43 @@ func (w *Weights) NumLearnable() int {
 	return n
 }
 
+// adjacency is a CSR (compressed sparse row) index: the incident factor
+// ids of variable v are idx[off[v]:off[v+1]]. One backing slice replaces
+// the per-variable []int32 allocations of the naive representation.
+type adjacency struct {
+	off []int32
+	idx []int32
+}
+
+// of returns variable v's row.
+func (a *adjacency) of(v int32) []int32 { return a.idx[a.off[v]:a.off[v+1]] }
+
+// build fills the CSR from a stream of (variable, factor-id) incidences
+// delivered by visit. visit must deliver the same sequence both times it
+// is called. A graph freezes exactly once, so the arrays are built
+// fresh — two allocations total, regardless of variable count.
+func (a *adjacency) build(nVars int, visit func(emit func(v int32, f int32))) {
+	a.off = make([]int32, nVars+1)
+	total := int32(0)
+	visit(func(v, f int32) { a.off[v+1]++; total++ })
+	for v := 0; v < nVars; v++ {
+		a.off[v+1] += a.off[v]
+	}
+	a.idx = make([]int32, total)
+	// Second pass: place each incidence at its row cursor. a.off is
+	// restored to row starts afterwards by shifting back.
+	cursor := a.off
+	visit(func(v, f int32) { a.idx[cursor[v]] = f; cursor[v]++ })
+	for v := nVars; v > 0; v-- {
+		a.off[v] = a.off[v-1]
+	}
+	a.off[0] = 0
+}
+
 // Graph is a factor graph under construction or frozen for inference.
+// Per-variable domains and the frozen factor adjacency live in flat
+// arenas (one backing slice each) rather than per-variable allocations —
+// the compact DimmWitted-style layout Section 3.2 assumes.
 type Graph struct {
 	Vars    []Variable
 	Unaries []Unary
@@ -158,9 +263,10 @@ type Graph struct {
 	Cmp func(op uint8, a, b int32) bool
 
 	frozen   bool
-	varUnary [][]int32 // variable → incident unary factor indices
-	varSoft  [][]int32 // variable → incident soft factor indices
-	varNary  [][]int32 // variable → incident n-ary factor indices
+	domArena []int32   // backing storage for Variable.Domain slices
+	varUnary adjacency // variable → incident unary factor indices
+	varSoft  adjacency // variable → incident soft factor indices
+	varNary  adjacency // variable → incident n-ary factor indices
 }
 
 // NewGraph returns an empty graph with a fresh weight store.
@@ -170,7 +276,8 @@ func NewGraph() *Graph {
 
 // AddVariable appends a variable and returns its id. Evidence variables
 // must pass the observed domain index; query variables pass the initial
-// value's index or -1.
+// value's index or -1. The domain labels are copied into the graph's flat
+// domain arena, so callers may reuse their slice.
 func (g *Graph) AddVariable(domain []int32, evidence bool, obs int32) int32 {
 	if g.frozen {
 		panic("factor: AddVariable on frozen graph")
@@ -185,7 +292,10 @@ func (g *Graph) AddVariable(domain []int32, evidence bool, obs int32) int32 {
 	if assign < 0 {
 		assign = 0
 	}
-	g.Vars = append(g.Vars, Variable{Domain: domain, Evidence: evidence, Obs: obs, Assign: assign})
+	start := len(g.domArena)
+	g.domArena = append(g.domArena, domain...)
+	dom := g.domArena[start:len(g.domArena):len(g.domArena)]
+	g.Vars = append(g.Vars, Variable{Domain: dom, Evidence: evidence, Obs: obs, Assign: assign})
 	return int32(len(g.Vars) - 1)
 }
 
@@ -235,28 +345,33 @@ func (g *Graph) NumQuery() int {
 	return n
 }
 
-// Freeze builds adjacency indexes; the graph structure becomes immutable
-// (weights and assignments stay mutable).
+// Freeze builds the CSR adjacency indexes; the graph structure becomes
+// immutable (weights and assignments stay mutable). Each adjacency is two
+// flat arrays (row offsets plus one backing index slice) instead of a
+// per-variable slice-of-slices, so freezing a graph costs O(1)
+// allocations regardless of variable count.
 func (g *Graph) Freeze() {
 	if g.frozen {
 		return
 	}
-	g.varUnary = make([][]int32, len(g.Vars))
-	g.varSoft = make([][]int32, len(g.Vars))
-	g.varNary = make([][]int32, len(g.Vars))
-	for i := range g.Unaries {
-		v := g.Unaries[i].Var
-		g.varUnary[v] = append(g.varUnary[v], int32(i))
-	}
-	for i := range g.Softs {
-		v := g.Softs[i].Var
-		g.varSoft[v] = append(g.varSoft[v], int32(i))
-	}
-	for i := range g.Naries {
-		for _, v := range g.Naries[i].Vars {
-			g.varNary[v] = append(g.varNary[v], int32(i))
+	n := len(g.Vars)
+	g.varUnary.build(n, func(emit func(v, f int32)) {
+		for i := range g.Unaries {
+			emit(g.Unaries[i].Var, int32(i))
 		}
-	}
+	})
+	g.varSoft.build(n, func(emit func(v, f int32)) {
+		for i := range g.Softs {
+			emit(g.Softs[i].Var, int32(i))
+		}
+	})
+	g.varNary.build(n, func(emit func(v, f int32)) {
+		for i := range g.Naries {
+			for _, v := range g.Naries[i].Vars {
+				emit(v, int32(i))
+			}
+		}
+	})
 	g.frozen = true
 }
 
@@ -265,15 +380,27 @@ func (g *Graph) Frozen() bool { return g.frozen }
 
 // IncidentUnaries returns the unary factor indices touching variable v.
 // The graph must be frozen.
-func (g *Graph) IncidentUnaries(v int32) []int32 { return g.varUnary[v] }
+func (g *Graph) IncidentUnaries(v int32) []int32 { return g.varUnary.of(v) }
 
 // IncidentSofts returns the soft factor indices touching variable v.
 // The graph must be frozen.
-func (g *Graph) IncidentSofts(v int32) []int32 { return g.varSoft[v] }
+func (g *Graph) IncidentSofts(v int32) []int32 { return g.varSoft.of(v) }
 
 // IncidentNaries returns the n-ary factor indices touching variable v.
 // The graph must be frozen.
-func (g *Graph) IncidentNaries(v int32) []int32 { return g.varNary[v] }
+func (g *Graph) IncidentNaries(v int32) []int32 { return g.varNary.of(v) }
+
+// NarySlot returns the slot index of variable v within factor f, or -1
+// when v is not a member. Both the sampler's conditional evaluation and
+// the pseudo-likelihood gradient need it.
+func (g *Graph) NarySlot(f *Nary, v int32) int32 {
+	for s, fv := range f.Vars {
+		if fv == v {
+			return int32(s)
+		}
+	}
+	return -1
+}
 
 // NaryH exposes the factor function h of an n-ary factor, with slot
 // hypSlot hypothetically assigned hypLabel (hypSlot < 0 evaluates the
@@ -351,7 +478,7 @@ func (g *Graph) LocalScores(v int32, buf []float64) {
 	for i := range buf {
 		buf[i] = 0
 	}
-	for _, ui := range g.varUnary[v] {
+	for _, ui := range g.varUnary.of(v) {
 		u := &g.Unaries[ui]
 		w := g.Weights.W[u.Weight] * float64(u.Count)
 		// h = ±1 indicator: score(d) gets +w at the target and −w
@@ -367,23 +494,17 @@ func (g *Graph) LocalScores(v int32, buf []float64) {
 			buf[d] += w * h
 		}
 	}
-	for _, si := range g.varSoft[v] {
+	for _, si := range g.varSoft.of(v) {
 		s := &g.Softs[si]
 		w := g.Weights.W[s.Weight]
 		for d := range buf {
 			buf[d] += w * s.H[d]
 		}
 	}
-	for _, ni := range g.varNary[v] {
+	for _, ni := range g.varNary.of(v) {
 		f := &g.Naries[ni]
 		w := g.Weights.W[f.Weight]
-		slot := int32(-1)
-		for s, fv := range f.Vars {
-			if fv == v {
-				slot = int32(s)
-				break
-			}
-		}
+		slot := g.NarySlot(f, v)
 		for d := range buf {
 			buf[d] += w * g.naryH(f, slot, vr.Domain[d])
 		}

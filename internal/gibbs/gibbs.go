@@ -41,7 +41,120 @@ type Config struct {
 	// Nil falls back to Seed + v·1e6+3 per variable. Sequential sweeps
 	// ignore it.
 	VarSeed []int64
+	// Scratch, when non-nil, supplies every working buffer of the run —
+	// marginal-count arenas, score buffers, sweep order, RNG state — so a
+	// warmed scratch makes steady-state sweeps allocation-free. The
+	// returned Marginals borrow the scratch's arenas and stay valid only
+	// until the scratch's next Run; callers must extract what they need
+	// before reusing or releasing it. Nil allocates fresh buffers, the
+	// original behavior. Scratch or not, results are bit-identical.
+	Scratch *Scratch
 }
+
+// Scratch is the reusable working memory of one sampler run: a flat
+// marginal-count arena with per-variable views, the score buffer, sweep
+// ordering, and re-seedable RNG state (per-worker for the parallel
+// regime). The sharded pipeline pools scratches across its worker pool
+// and across Session recleans via AcquireScratch/ReleaseScratch, so
+// steady-state serving recleans approach zero sampler allocations.
+type Scratch struct {
+	counts []float64   // flat arena backing all marginal counts
+	p      [][]float64 // per-variable views into counts
+	buf    []float64
+	order  []int32
+	query  []int32
+	m      factor.Marginals
+	src    rand.Source
+	rng    *rand.Rand
+	wk     []workerScratch
+}
+
+// workerScratch is one parallel worker's private buffer and RNG.
+type workerScratch struct {
+	buf []float64
+	src rand.Source
+	rng *rand.Rand
+}
+
+// seededRng returns *rng re-seeded to seed, creating source and RNG on
+// first use. Re-seeding an existing source produces exactly the stream
+// rand.New(rand.NewSource(seed)) would, without the two per-call
+// allocations.
+func seededRng(src *rand.Source, rng **rand.Rand, seed int64) *rand.Rand {
+	if *rng == nil {
+		*src = rand.NewSource(seed)
+		*rng = rand.New(*src)
+	} else {
+		(*src).Seed(seed)
+	}
+	return *rng
+}
+
+// seeded returns the worker's RNG re-seeded to seed.
+func (w *workerScratch) seeded(seed int64) *rand.Rand {
+	return seededRng(&w.src, &w.rng, seed)
+}
+
+// seeded returns the scratch's sequential-sweep RNG re-seeded to seed.
+func (s *Scratch) seeded(seed int64) *rand.Rand {
+	return seededRng(&s.src, &s.rng, seed)
+}
+
+// marginals resizes the count arena for g (one float64 per variable per
+// domain value), zeroes it, and rebuilds the per-variable views.
+func (s *Scratch) marginals(g *factor.Graph) [][]float64 {
+	total := 0
+	for i := range g.Vars {
+		total += len(g.Vars[i].Domain)
+	}
+	if cap(s.counts) >= total {
+		s.counts = s.counts[:total]
+	} else {
+		s.counts = make([]float64, total)
+	}
+	clear(s.counts)
+	if cap(s.p) >= len(g.Vars) {
+		s.p = s.p[:len(g.Vars)]
+	} else {
+		s.p = make([][]float64, len(g.Vars))
+	}
+	off := 0
+	for i := range g.Vars {
+		d := len(g.Vars[i].Domain)
+		s.p[i] = s.counts[off : off+d : off+d]
+		off += d
+	}
+	return s.p
+}
+
+// growF returns b resized to n, reusing capacity when possible.
+func growF(b []float64, n int) []float64 {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	return make([]float64, n)
+}
+
+// growI is growF for int32 slices.
+func growI(b []int32, n int) []int32 {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	return make([]int32, n)
+}
+
+// scratchPool backs AcquireScratch/ReleaseScratch. A process-wide pool
+// (rather than per-runner) means the worker pools of concurrent cleaning
+// jobs and successive Session recleans all share warmed arenas.
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// AcquireScratch returns a pooled scratch, possibly warm from an earlier
+// run.
+func AcquireScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// ReleaseScratch returns a scratch to the pool. The caller must be done
+// with any Marginals borrowed from it.
+func ReleaseScratch(s *Scratch) { scratchPool.Put(s) }
 
 // DefaultConfig mirrors the modest sampling budgets DeepDive-style systems
 // use once mixing is fast (Section 5.2).
@@ -52,11 +165,15 @@ func DefaultConfig() Config { return Config{BurnIn: 10, Samples: 50, Seed: 1} }
 // values and have point-mass marginals.
 func Run(g *factor.Graph, cfg Config) *factor.Marginals {
 	g.Freeze()
-	if cfg.Parallel && !g.HasNaryOnQuery() {
-		return runParallel(g, cfg)
+	sc := cfg.Scratch
+	if sc == nil {
+		sc = new(Scratch)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	var query []int32
+	if cfg.Parallel && !g.HasNaryOnQuery() {
+		return runParallel(g, cfg, sc)
+	}
+	rng := sc.seeded(cfg.Seed)
+	query := sc.query[:0]
 	maxDom := 1
 	for i := range g.Vars {
 		v := &g.Vars[i]
@@ -76,12 +193,12 @@ func Run(g *factor.Graph, cfg Config) *factor.Marginals {
 			v.Assign = int32(rng.Intn(len(v.Domain)))
 		}
 	}
-	counts := make([][]float64, len(g.Vars))
-	for i := range g.Vars {
-		counts[i] = make([]float64, len(g.Vars[i].Domain))
-	}
-	buf := make([]float64, maxDom)
-	order := make([]int32, len(query))
+	sc.query = query
+	counts := sc.marginals(g)
+	buf := growF(sc.buf, maxDom)
+	sc.buf = buf
+	order := growI(sc.order, len(query))
+	sc.order = order
 	copy(order, query)
 
 	sweeps := cfg.BurnIn + cfg.Samples
@@ -100,7 +217,8 @@ func Run(g *factor.Graph, cfg Config) *factor.Marginals {
 		}
 	}
 
-	m := &factor.Marginals{P: counts}
+	m := &sc.m
+	m.P = counts
 	n := float64(cfg.Samples)
 	for _, v := range query {
 		for d := range m.P[v] {
@@ -118,10 +236,13 @@ func Run(g *factor.Graph, cfg Config) *factor.Marginals {
 // runParallel runs per-variable chains concurrently. Only valid when no
 // n-ary factor touches a query variable: every conditional is then
 // independent of other query variables and each variable's chain can be
-// sampled in isolation. Each variable gets its own seeded RNG, so results
-// are deterministic regardless of scheduling.
-func runParallel(g *factor.Graph, cfg Config) *factor.Marginals {
-	var query []int32
+// sampled in isolation. Each variable's chain is seeded individually (a
+// per-worker RNG is re-seeded per variable rather than freshly
+// allocated), so results are deterministic regardless of scheduling and
+// worker count.
+func runParallel(g *factor.Graph, cfg Config, sc *Scratch) *factor.Marginals {
+	query := sc.query[:0]
+	maxDom := 1
 	for i := range g.Vars {
 		v := &g.Vars[i]
 		if v.Evidence {
@@ -129,18 +250,31 @@ func runParallel(g *factor.Graph, cfg Config) *factor.Marginals {
 			continue
 		}
 		query = append(query, int32(i))
+		if len(v.Domain) > maxDom {
+			maxDom = len(v.Domain)
+		}
 	}
-	counts := make([][]float64, len(g.Vars))
-	for i := range g.Vars {
-		counts[i] = make([]float64, len(g.Vars[i].Domain))
-	}
+	sc.query = query
+	counts := sc.marginals(g)
 	workers := runtime.GOMAXPROCS(0)
+	if workers > len(query) {
+		workers = len(query)
+	}
+	if cap(sc.wk) >= workers {
+		sc.wk = sc.wk[:workers]
+	} else {
+		sc.wk = make([]workerScratch, workers)
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			buf := make([]float64, 0, 64)
+			ws := &sc.wk[w]
+			// One score buffer per worker, sized once for the graph's
+			// largest domain (the old per-variable regrow churned
+			// allocations on every domain-size increase).
+			ws.buf = growF(ws.buf, maxDom)
 			for qi := w; qi < len(query); qi += workers {
 				v := query[qi]
 				vr := &g.Vars[v]
@@ -148,12 +282,9 @@ func runParallel(g *factor.Graph, cfg Config) *factor.Marginals {
 				if cfg.VarSeed != nil {
 					seed = cfg.VarSeed[v]
 				}
-				rng := rand.New(rand.NewSource(seed))
+				rng := ws.seeded(seed)
 				dom := len(vr.Domain)
-				if cap(buf) < dom {
-					buf = make([]float64, dom)
-				}
-				scores := buf[:dom]
+				scores := ws.buf[:dom]
 				// The conditional never changes (no query-side deps):
 				// compute once, then draw BurnIn+Samples times.
 				if vr.Obs >= 0 {
@@ -172,7 +303,8 @@ func runParallel(g *factor.Graph, cfg Config) *factor.Marginals {
 		}(w)
 	}
 	wg.Wait()
-	m := &factor.Marginals{P: counts}
+	m := &sc.m
+	m.P = counts
 	n := float64(cfg.Samples)
 	for _, v := range query {
 		best := 0

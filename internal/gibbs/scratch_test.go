@@ -1,0 +1,76 @@
+package gibbs
+
+import (
+	"math"
+	"testing"
+
+	"holoclean/internal/factor"
+)
+
+// chainGraph builds a correlated chain (n-ary factors between successive
+// variables) so Run takes the sequential-sweep path.
+func chainGraph(n int) *factor.Graph {
+	g := factor.NewGraph()
+	var prev int32 = -1
+	for i := 0; i < n; i++ {
+		v := g.AddVariable([]int32{1, 2, 3}, false, 0)
+		w := g.Weights.ID("u", 0.4, false)
+		g.AddUnary(v, int32(i%3), w, false, 1)
+		if prev >= 0 {
+			dc := g.Weights.ID("dc", 1.0, true)
+			g.AddNary([]int32{prev, v}, []factor.Pred{{LeftSlot: 0, RightSlot: 1, Op: factor.OpNeq}}, dc)
+		}
+		prev = v
+	}
+	return g
+}
+
+// TestScratchMatchesFreshBuffers pins that supplying a Scratch changes
+// nothing about the sampled marginals, on both the sequential and the
+// parallel path.
+func TestScratchMatchesFreshBuffers(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		var build func(int) *factor.Graph
+		if parallel {
+			build = func(n int) *factor.Graph { return benchGraph(n) }
+		} else {
+			build = chainGraph
+		}
+		base := Run(build(40), Config{BurnIn: 5, Samples: 30, Seed: 7, Parallel: parallel})
+		sc := AcquireScratch()
+		// Run twice with the same scratch: the second run exercises the
+		// warmed-arena path.
+		Run(build(40), Config{BurnIn: 5, Samples: 30, Seed: 7, Parallel: parallel, Scratch: sc})
+		got := Run(build(40), Config{BurnIn: 5, Samples: 30, Seed: 7, Parallel: parallel, Scratch: sc})
+		for v := range base.P {
+			for d := range base.P[v] {
+				if base.P[v][d] != got.P[v][d] {
+					t.Fatalf("parallel=%v: marginal P[%d][%d] differs with scratch: %v vs %v",
+						parallel, v, d, got.P[v][d], base.P[v][d])
+				}
+			}
+		}
+		ReleaseScratch(sc)
+	}
+}
+
+// TestSequentialSweepsZeroAllocs pins the tentpole property: once a
+// scratch is warm, a full sequential Gibbs run — sweeps, score buffers,
+// marginal accumulation, and the returned Marginals — performs zero heap
+// allocations. Any regression (a rebuilt buffer, an escaping closure, a
+// fresh RNG) shows up as a nonzero figure here.
+func TestSequentialSweepsZeroAllocs(t *testing.T) {
+	g := chainGraph(30)
+	sc := new(Scratch)
+	cfg := Config{BurnIn: 3, Samples: 10, Seed: 3, Scratch: sc}
+	Run(g, cfg) // warm the arenas
+	allocs := testing.AllocsPerRun(20, func() {
+		m := Run(g, cfg)
+		if math.IsNaN(m.P[0][0]) {
+			t.Fatal("NaN marginal")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state sequential Run allocated %v objects per run, want 0", allocs)
+	}
+}

@@ -147,13 +147,7 @@ func applyGradient(g *factor.Graph, v int32, o int, pr []float64, lr, l2 float64
 		if w.Fixed[f.Weight] {
 			continue
 		}
-		slot := int32(-1)
-		for s, fv := range f.Vars {
-			if fv == v {
-				slot = int32(s)
-				break
-			}
-		}
+		slot := g.NarySlot(f, v)
 		hObs := g.NaryH(f, slot, vr.Domain[o])
 		var hExp float64
 		for d := range pr {

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# bench_compare.sh OLD.json NEW.json [THRESHOLD_PCT]
+#
+# Diffs two benchmark artifacts produced by `go test -json -bench ...
+# -benchmem` (the CI bench job's BENCH_pipeline.json / BENCH_serve.json)
+# and fails when any benchmark present in both regressed by more than
+# THRESHOLD_PCT (default 20) in wall-clock (ns/op) or allocations
+# (allocs/op). B/op is reported for context but does not gate, since
+# allocs/op already catches allocation regressions without double-firing
+# on byte-size drift of retained model structures.
+#
+# Typical use: download the bench-results artifact of the main branch,
+# then   ./scripts/bench_compare.sh main/BENCH_pipeline.json bench-artifacts/BENCH_pipeline.json
+set -euo pipefail
+
+if [ $# -lt 2 ] || [ $# -gt 3 ]; then
+  echo "usage: $0 OLD.json NEW.json [THRESHOLD_PCT]" >&2
+  exit 2
+fi
+old_file=$1
+new_file=$2
+threshold=${3:-20}
+for f in "$old_file" "$new_file"; do
+  [ -s "$f" ] || { echo "FAIL: $f is missing or empty" >&2; exit 2; }
+done
+
+# extract FILE → lines "name ns_per_op bytes_per_op allocs_per_op".
+# test2json may split one benchmark result line across several Output
+# events (the name is flushed before the timing columns), so the Output
+# payloads are concatenated in order before being split back into lines.
+extract() {
+  grep -o '"Output":"[^"]*"' "$1" |
+    sed 's/^"Output":"//; s/"$//' |
+    tr -d '\n' |
+    sed 's/\\n/\n/g; s/\\t/ /g' |
+    awk '/^Benchmark[^ ]+ / && / ns\/op/ {
+      name = $1
+      ns = ""; bytes = ""; allocs = ""
+      for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i-1)
+        if ($i == "B/op")      bytes = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+      }
+      if (ns != "") print name, ns, (bytes == "" ? "-" : bytes), (allocs == "" ? "-" : allocs)
+    }'
+}
+
+old_rows=$(extract "$old_file")
+new_rows=$(extract "$new_file")
+[ -n "$old_rows" ] || { echo "FAIL: no benchmark results found in $old_file" >&2; exit 2; }
+[ -n "$new_rows" ] || { echo "FAIL: no benchmark results found in $new_file" >&2; exit 2; }
+
+printf '%s\n%s\n' "$old_rows" "$new_rows" | awk -v threshold="$threshold" -v nold="$(printf '%s\n' "$old_rows" | wc -l)" '
+function pct(o, n) { return (n - o) * 100.0 / o }
+NR <= nold { ons[$1] = $2; obytes[$1] = $3; oallocs[$1] = $4; next }
+{
+  name = $1
+  seen[name] = 1
+  if (!(name in ons)) { printf "SKIP  %-50s only in new artifact\n", name; next }
+  compared++
+  dns = pct(ons[name], $2)
+  printf "%-50s ns/op %12.0f -> %12.0f  (%+.1f%%)\n", name, ons[name], $2, dns
+  if (dns > threshold) { printf "FAIL  %-50s ns/op regressed %.1f%% (> %s%%)\n", name, dns, threshold; bad = 1 }
+  if (oallocs[name] != "-" && $4 != "-") {
+    da = pct(oallocs[name], $4)
+    printf "%-50s allocs/op %8.0f -> %8.0f  (%+.1f%%)\n", name, oallocs[name], $4, da
+    if (da > threshold) { printf "FAIL  %-50s allocs/op regressed %.1f%% (> %s%%)\n", name, da, threshold; bad = 1 }
+  }
+  if (obytes[name] != "-" && $3 != "-")
+    printf "%-50s B/op %12.0f -> %12.0f  (%+.1f%%, informational)\n", name, obytes[name], $3, pct(obytes[name], $3)
+}
+END {
+  # Benchmarks that vanished from the new artifact are surfaced loudly:
+  # silently narrowing the comparison set would let a regressed
+  # benchmark escape the gate by being renamed or deleted.
+  for (name in ons)
+    if (!(name in seen)) printf "WARN  %-50s present in old artifact but missing from new — gate does not cover it\n", name
+  if (compared == 0) { print "FAIL: no benchmark appears in both artifacts"; exit 2 }
+  if (bad) { print "FAIL: regression beyond " threshold "%"; exit 1 }
+  print "PASS: " compared " benchmark(s) within " threshold "%"
+}'

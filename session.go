@@ -13,6 +13,7 @@ import (
 	"holoclean/internal/ddlog"
 	"holoclean/internal/errordetect"
 	"holoclean/internal/extdict"
+	"holoclean/internal/factor"
 	"holoclean/internal/stats"
 	"holoclean/internal/violation"
 )
@@ -59,6 +60,10 @@ type Session struct {
 	prevSigs map[string]bool
 	matches  map[int][]extdict.Match
 	shared   *ddlog.SharedIndex
+	// interner is the canonical tying-key store shared by every grounding
+	// of the session's lifetime, so recleans allocate no key strings for
+	// signal families the initial Clean already named.
+	interner *factor.KeyInterner
 }
 
 // prevDomains is the cached noisy-cell domain map of the previous run.
@@ -312,6 +317,7 @@ func (s *Session) Reclean() (*Result, error) {
 	// --- Compile: full pruning over the new noisy set, statistics and
 	// detection injected, no evidence sampling (weights are reused). ---
 	copts := cl.compileOptions()
+	copts.Interner = s.interner
 	copts.Detection = detection
 	copts.Hypergraph = hyper
 	copts.Stats = s.st
@@ -404,6 +410,7 @@ func (s *Session) Reclean() (*Result, error) {
 		masked:     s.masked,
 		weights:    s.weights,
 		shared:     s.shared,
+		interner:   s.interner,
 		prevSigs:   s.prevSigs,
 		outcomes:   s.outcomes,
 		detectTime: detectTime,
@@ -743,6 +750,7 @@ func (s *Session) adopt(res *Result, art *cleanArtifacts) {
 	}
 	s.matches = matchesByTuple(prep.Matches)
 	s.shared = art.shared
+	s.interner = art.interner
 	s.touched = make(map[int]bool)
 }
 

@@ -2,7 +2,7 @@ package holoclean
 
 import (
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -185,13 +185,14 @@ func batchByTuple(cells []dataset.Cell, idx []int, target int) []shard {
 // ARCHITECTURE.md): one SGD pass over the global evidence set produces a
 // single weight vector that every shard shares, instead of averaging
 // independently learned per-shard weights.
-func groundLearning(prep *compile.Prepared, shared *ddlog.SharedIndex, maxScan int) (*ddlog.Grounded, error) {
+func groundLearning(prep *compile.Prepared, shared *ddlog.SharedIndex, interner *factor.KeyInterner, maxScan int) (*ddlog.Grounded, error) {
 	evid := make(map[dataset.Cell]bool, len(prep.DB.Evidence))
 	for _, c := range prep.DB.Evidence {
 		evid[c] = true
 	}
 	db := *prep.DB
 	db.Shared = shared
+	db.Interner = interner
 	prog := &ddlog.Program{}
 	for _, r := range prep.Program.Rules {
 		// Correlation factors never touch evidence variables (clean and
@@ -279,10 +280,11 @@ func parallelVarSeeds(g *ddlog.Grounded, base int64, numAttrs int) []int64 {
 // shardRunner executes the per-shard ground → tie weights → infer →
 // extract pipeline over a bounded worker pool and merges the results.
 type shardRunner struct {
-	prep    *compile.Prepared
-	opts    Options
-	shared  *ddlog.SharedIndex
-	learned map[string]float64
+	prep     *compile.Prepared
+	opts     Options
+	shared   *ddlog.SharedIndex
+	interner *factor.KeyInterner
+	learned  map[string]float64
 
 	queryAttrs   map[int]map[int]bool
 	matchByTuple map[int][]extdict.Match
@@ -296,11 +298,12 @@ type shardRunner struct {
 	inferTime  time.Duration
 }
 
-func newShardRunner(prep *compile.Prepared, opts Options, shared *ddlog.SharedIndex, learned map[string]float64, res *Result, repaired *Dataset) *shardRunner {
+func newShardRunner(prep *compile.Prepared, opts Options, shared *ddlog.SharedIndex, interner *factor.KeyInterner, learned map[string]float64, res *Result, repaired *Dataset) *shardRunner {
 	r := &shardRunner{
 		prep:         prep,
 		opts:         opts,
 		shared:       shared,
+		interner:     interner,
 		learned:      learned,
 		queryAttrs:   make(map[int]map[int]bool),
 		matchByTuple: make(map[int][]extdict.Match),
@@ -396,10 +399,17 @@ func (r *shardRunner) runOne(sh shard) error {
 	db.Evidence, db.EvidenceDomains = nil, nil
 	db.Matches = matches
 	db.Shared = r.shared
+	db.Interner = r.interner
 	db.Scope = &ddlog.Scope{InShard: inShard, QueryAttrs: r.queryAttrs}
 
+	// Grounding scratch comes from the process-wide arena pool, so the
+	// worker pool's steady stream of shard groundings — and every
+	// subsequent Session.Reclean — reuses the same few backing arrays.
+	arena := ddlog.AcquireArena()
+	defer ddlog.ReleaseArena(arena)
+
 	tg := time.Now()
-	g, err := ddlog.Ground(&db, prep.Program, ddlog.Config{MaxScanCounterparts: o.MaxScanCounterparts})
+	g, err := ddlog.Ground(&db, prep.Program, ddlog.Config{MaxScanCounterparts: o.MaxScanCounterparts, Arena: arena})
 	if err != nil {
 		return err
 	}
@@ -426,11 +436,16 @@ func (r *shardRunner) runOne(sh shard) error {
 	hasNary := g.Graph.HasNaryOnQuery()
 	singleton := g.Stats.QueryVars == 1
 	var m *factor.Marginals
+	var scratch *gibbs.Scratch
 	if !hasNary && (o.ExactInference || (singleton && sh.component)) {
 		m = gibbs.Exact(g.Graph)
 	} else {
 		burn, samp := resolveGibbs(o)
-		cfg := gibbs.Config{BurnIn: burn, Samples: samp, Seed: o.Seed, Parallel: o.ParallelInference}
+		// Sampler buffers come from the scratch pool; the marginals borrow
+		// them, so the scratch is released only after extraction below.
+		scratch = gibbs.AcquireScratch()
+		defer gibbs.ReleaseScratch(scratch)
+		cfg := gibbs.Config{BurnIn: burn, Samples: samp, Seed: o.Seed, Parallel: o.ParallelInference, Scratch: scratch}
 		if len(cells) > 0 {
 			cfg.Seed = o.Seed + (int64(cells[0].Tuple)*int64(numAttrs)+int64(cells[0].Attr)+1)*7919
 		}
@@ -463,7 +478,15 @@ func (r *shardRunner) runOne(sh shard) error {
 		for d, label := range dom {
 			dist[d] = ValueProb{Value: dict.String(dataset.Value(label)), P: m.Prob(v, d)}
 		}
-		sort.Slice(dist, func(i, j int) bool { return dist[i].P > dist[j].P })
+		slices.SortFunc(dist, func(a, b ValueProb) int {
+			switch {
+			case a.P > b.P:
+				return -1
+			case a.P < b.P:
+				return 1
+			}
+			return 0
+		})
 		r.res.Marginals[c] = dist
 
 		mapIdx, p := m.MAP(v)
