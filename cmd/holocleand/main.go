@@ -2,7 +2,7 @@
 // multi-tenant cleaning service where each session wraps one dataset
 // under continuous incremental cleaning (see package serve).
 //
-//	holocleand -addr :8080
+//	holocleand -addr :8080 -store-dir /var/lib/holoclean
 //
 // Quickstart against a running server:
 //
@@ -16,19 +16,37 @@
 //	                 get 429 + Retry-After (default 8)
 //	-workers N       shard workers per job (default GOMAXPROCS/max-jobs)
 //	-idle-timeout D  evict sessions idle for D to snapshots (0 disables)
-//	-snapshot-dir P  persist snapshots under P and reload them on boot
+//	-store-dir P     durable session store under P: per-session
+//	                 write-ahead logs, fsync'd before any mutating
+//	                 request is acknowledged, recovered in full on boot
+//	                 (supersedes -snapshot-dir)
+//	-checkpoint-every N  ops between checkpoint records (default 16)
+//	-snapshot-dir P  deprecated: eviction snapshots only, no operation
+//	                 log — a crash loses everything since the last
+//	                 eviction; use -store-dir
 //	-pprof ADDR      serve net/http/pprof on a separate listener, e.g.
 //	                 -pprof 127.0.0.1:6060 (off by default; never exposed
 //	                 on the main service address)
+//
+// On SIGTERM or SIGINT the daemon shuts down gracefully: new heavy jobs
+// are refused with 503, in-flight recleans finish and their log appends
+// land, every live session is checkpointed to the store, and the
+// process exits 0. A hard kill (SIGKILL, power loss) is also safe with
+// -store-dir: the next boot replays each session's log tail on top of
+// its latest checkpoint, reconstructing the exact acknowledged state.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"holoclean/serve"
@@ -56,8 +74,11 @@ func main() {
 		maxJobs     = flag.Int("max-jobs", 2, "max heavy pipeline jobs running concurrently")
 		queueDepth  = flag.Int("queue-depth", 8, "max jobs waiting beyond the running ones before 429")
 		idleTimeout = flag.Duration("idle-timeout", 15*time.Minute, "evict sessions idle this long (0 = never)")
-		snapshotDir = flag.String("snapshot-dir", "", "directory for eviction snapshots (empty = in-memory)")
+		storeDir    = flag.String("store-dir", "", "durable session store: per-session write-ahead logs with crash recovery (empty = no durability)")
+		ckptEvery   = flag.Int("checkpoint-every", 16, "ops between checkpoint records in the store")
+		snapshotDir = flag.String("snapshot-dir", "", "deprecated: eviction-snapshot directory without an operation log; use -store-dir")
 		maxUpload   = flag.Int64("max-upload", 32<<20, "max request body bytes")
+		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight jobs on SIGTERM/SIGINT")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
@@ -65,7 +86,7 @@ func main() {
 	if *pprofAddr != "" {
 		// Bind synchronously so a taken port fails the start instead of
 		// the daemon silently running without the profiling the operator
-		// explicitly requested (consistent with -snapshot-dir handling).
+		// explicitly requested (consistent with -store-dir handling).
 		ln, err := net.Listen("tcp", *pprofAddr)
 		if err != nil {
 			log.Fatalf("holocleand: pprof listener on %s: %v", *pprofAddr, err)
@@ -79,22 +100,57 @@ func main() {
 	}
 
 	if *snapshotDir != "" {
-		if err := os.MkdirAll(*snapshotDir, 0o755); err != nil {
-			log.Fatalf("holocleand: creating snapshot dir: %v", err)
+		if *storeDir != "" {
+			log.Printf("holocleand: -snapshot-dir is ignored when -store-dir is set (the store subsumes it)")
+		} else {
+			log.Printf("holocleand: -snapshot-dir is deprecated: snapshots only persist at eviction, a crash loses everything since; use -store-dir")
+			if err := os.MkdirAll(*snapshotDir, 0o755); err != nil {
+				log.Fatalf("holocleand: creating snapshot dir: %v", err)
+			}
 		}
 	}
-	sv := serve.New(serve.Config{
+	sv, err := serve.New(serve.Config{
 		Workers:           *workers,
 		MaxConcurrentJobs: *maxJobs,
 		QueueDepth:        *queueDepth,
 		IdleTimeout:       *idleTimeout,
 		SnapshotDir:       *snapshotDir,
+		StoreDir:          *storeDir,
+		CheckpointEvery:   *ckptEvery,
 		MaxUploadBytes:    *maxUpload,
 		Logf:              log.Printf,
 	})
-	defer sv.Close()
-	log.Printf("holocleand: listening on %s (max-jobs %d, queue %d)", *addr, *maxJobs, *queueDepth)
-	if err := http.ListenAndServe(*addr, sv); err != nil {
+	if err != nil {
+		log.Fatalf("holocleand: %v", err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: sv}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("holocleand: listening on %s (max-jobs %d, queue %d, store %q)", *addr, *maxJobs, *queueDepth, *storeDir)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		sv.Close()
 		log.Fatal(err)
+	case sig := <-sigc:
+		log.Printf("holocleand: %v: draining (refusing new jobs, finishing in-flight work, checkpointing sessions)", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		// Drain the service first — new heavy jobs answer 503 while
+		// in-flight recleans finish and live sessions checkpoint — then
+		// close the listener.
+		if err := sv.Shutdown(ctx); err != nil {
+			// The store is consistent regardless (appends are durable
+			// before their acks); a timeout only means recovery replays
+			// a longer tail.
+			log.Printf("holocleand: drain incomplete: %v", err)
+		}
+		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("holocleand: http shutdown: %v", err)
+		}
+		log.Printf("holocleand: shutdown complete")
 	}
 }

@@ -1,0 +1,535 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// frameVersion tags every record; bump it on incompatible frame changes.
+// Recovery rejects frames it does not know instead of guessing.
+const frameVersion = "w1"
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one verified log entry as returned by Recover.
+type Record struct {
+	Seq     uint64
+	Op      Op
+	Payload json.RawMessage
+}
+
+// Stats is the operator view of one log — the compaction-debt gauges
+// surfaced in the session listing.
+type Stats struct {
+	// WALBytes is the current size of the log file.
+	WALBytes int64
+	// OpsSinceCheckpoint counts operation records appended after the
+	// latest checkpoint (checkpoints and markers excluded) — the length
+	// of the tail recovery would replay.
+	OpsSinceCheckpoint int
+	// LastCheckpointAt is when the latest checkpoint record was
+	// appended (zero if the log has none).
+	LastCheckpointAt time.Time
+	// Seq is the sequence number of the last appended record.
+	Seq uint64
+}
+
+// Log is one tenant's append-only operation log. Append and Compact are
+// safe for concurrent use; a Log must be obtained through Store.Log so
+// there is exactly one per tenant per process.
+type Log struct {
+	store *Store
+	id    string
+	path  string
+
+	mu sync.Mutex
+	f  *os.File
+	st Stats
+	// err poisons the log after an unrecoverable write/sync failure:
+	// further appends and compactions refuse with it. Fail-stop is the
+	// only safe answer to a failed fsync — after one, the kernel may
+	// report later fsyncs as successful while the dirty pages are gone,
+	// so continuing to append would acknowledge operations that a crash
+	// silently drops. Recover (read-only) still works, so evicted reads
+	// keep serving; mutations stay 500 until the process restarts.
+	err error
+	// durable is a lower bound on the file size covered by a successful
+	// group commit. When a sync fails the file is truncated back to it,
+	// so nothing beyond the durability horizon can be replayed — every
+	// acknowledged record is below it by construction (acks follow
+	// successful commits). gen guards it across compactions: offsets
+	// from before a compaction describe a different file layout and
+	// must not advance the watermark.
+	durable int64
+	gen     uint64
+	// ckptOff is the byte offset of the latest checkpoint record
+	// (-1 when the log has none); compaction cuts everything before it.
+	ckptOff int64
+	// inflight counts appends whose group commit has not returned yet.
+	// Compact waits on it (with mu held, so no new appends start) before
+	// closing the superseded file handle — otherwise a pending commit
+	// could sync a closed fd and fail an append whose record is, in
+	// fact, durable in the compacted file.
+	inflight sync.WaitGroup
+}
+
+// openLog opens (or creates) the log file and primes counters from its
+// contents. Damaged tails are truncated here, exactly as Recover would,
+// so a process that opens a log for appending after a crash never
+// writes after a torn frame.
+func openLog(s *Store, id string) (*Log, error) {
+	l := &Log{store: s, id: id, path: filepath.Join(s.dir, id+walSuffix), ckptOff: -1}
+	f, err := os.OpenFile(l.path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening log of %s: %w", id, err)
+	}
+	l.f = f
+	if _, err := l.scan(nil); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(l.st.WALBytes, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: seeking log of %s: %w", id, err)
+	}
+	return l, nil
+}
+
+// frame renders one record. CRC covers "<seq> <op> <payload>" so a
+// frame whose header or body was torn or bit-flipped never verifies.
+func frame(seq uint64, op Op, payload []byte) []byte {
+	body := fmt.Sprintf("%d %d %s", seq, op, payload)
+	crc := crc32.Checksum([]byte(body), castagnoli)
+	return []byte(fmt.Sprintf("%s %08x %s\n", frameVersion, crc, body))
+}
+
+// parseFrame verifies one line and returns its record. A nil record
+// with a nil error is impossible: damage is always an error.
+func parseFrame(line []byte) (Record, error) {
+	rest, ok := bytes.CutPrefix(line, []byte(frameVersion+" "))
+	if !ok {
+		return Record{}, fmt.Errorf("store: frame version mismatch (want %s)", frameVersion)
+	}
+	crcHex, body, ok := bytes.Cut(rest, []byte(" "))
+	if !ok || len(crcHex) != 8 {
+		return Record{}, fmt.Errorf("store: malformed frame header")
+	}
+	want, err := strconv.ParseUint(string(crcHex), 16, 32)
+	if err != nil {
+		return Record{}, fmt.Errorf("store: malformed frame crc: %w", err)
+	}
+	if got := crc32.Checksum(body, castagnoli); got != uint32(want) {
+		return Record{}, fmt.Errorf("store: frame crc %08x, want %08x", got, want)
+	}
+	seqStr, rest2, ok := bytes.Cut(body, []byte(" "))
+	if !ok {
+		return Record{}, fmt.Errorf("store: malformed frame body")
+	}
+	opStr, payload, ok := bytes.Cut(rest2, []byte(" "))
+	if !ok {
+		return Record{}, fmt.Errorf("store: malformed frame body")
+	}
+	seq, err := strconv.ParseUint(string(seqStr), 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("store: malformed frame seq: %w", err)
+	}
+	opNum, err := strconv.ParseUint(string(opStr), 10, 8)
+	if err != nil {
+		return Record{}, fmt.Errorf("store: malformed frame op: %w", err)
+	}
+	return Record{Seq: seq, Op: Op(opNum), Payload: append(json.RawMessage(nil), payload...)}, nil
+}
+
+// scan reads the log from the start, verifying every frame, priming the
+// counters, and truncating the file at the first damaged frame (a torn
+// final write after a hard kill; anything further back is real
+// corruption, and truncating there keeps the longest verified prefix —
+// the only state recovery can vouch for). When emit is non-nil it
+// receives every verified record in order. Call with l.mu held (or
+// before the log escapes openLog).
+func (l *Log) scan(emit func(Record) error) (truncated bool, err error) {
+	if _, err := l.f.Seek(0, 0); err != nil {
+		return false, fmt.Errorf("store: seeking log of %s: %w", l.id, err)
+	}
+	l.st = Stats{}
+	l.ckptOff = -1
+	var off int64
+	started := false
+	r := bufio.NewReaderSize(l.f, 1<<16)
+	for {
+		line, err := r.ReadBytes('\n')
+		if len(line) == 0 && err != nil {
+			break // clean EOF
+		}
+		if err != nil {
+			truncated = true // unterminated final line: torn write
+			break
+		}
+		rec, perr := parseFrame(line[:len(line)-1])
+		// The first frame may carry any sequence number (compaction
+		// preserves the original numbering, so a compacted log starts
+		// mid-sequence); after that, density is required.
+		if perr != nil || (started && rec.Seq != l.st.Seq+1) {
+			truncated = true
+			break
+		}
+		started = true
+		if emit != nil {
+			if err := emit(rec); err != nil {
+				return false, err
+			}
+		}
+		l.st.Seq = rec.Seq
+		switch rec.Op {
+		case OpCheckpoint:
+			l.ckptOff = off
+			l.st.OpsSinceCheckpoint = 0
+			var meta struct {
+				At time.Time `json:"at"`
+			}
+			json.Unmarshal(rec.Payload, &meta)
+			l.st.LastCheckpointAt = meta.At
+		case OpRelearn, OpRemove:
+			// Markers and tombstones are not replayable operations.
+		default:
+			l.st.OpsSinceCheckpoint++
+		}
+		off += int64(len(line))
+	}
+	if truncated {
+		if err := l.f.Truncate(off); err != nil {
+			return true, fmt.Errorf("store: truncating damaged tail of %s: %w", l.id, err)
+		}
+		if err := l.f.Sync(); err != nil {
+			return true, fmt.Errorf("store: syncing truncated log of %s: %w", l.id, err)
+		}
+	}
+	l.st.WALBytes = off
+	// Everything the scan verified is on disk: the durability horizon
+	// is the whole (possibly just-truncated) file.
+	l.durable = off
+	return truncated, nil
+}
+
+// Append frames payload (any JSON-marshalable value, or a pre-encoded
+// json.RawMessage / []byte holding one JSON object) as the next record,
+// writes it, and returns once the record is durable (group commit). The
+// write-ahead contract is the caller's: append before acknowledging,
+// and apply after appending.
+func (l *Log) Append(op Op, payload any) error {
+	body, err := encodePayload(payload)
+	if err != nil {
+		return fmt.Errorf("store: encoding %s payload: %w", op, err)
+	}
+	l.mu.Lock()
+	if l.f == nil {
+		l.mu.Unlock()
+		return fmt.Errorf("store: log of %s is closed", l.id)
+	}
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	prev := l.st.WALBytes
+	rec := frame(l.st.Seq+1, op, body)
+	if _, err := l.f.Write(rec); err != nil {
+		// Roll the partial write back so no torn frame persists between
+		// later (possibly successful) appends — a torn frame mid-file
+		// would make recovery truncate everything after it. If even the
+		// rollback fails, poison the log: fail-stop beats silent loss.
+		if terr := l.f.Truncate(prev); terr != nil {
+			l.poisonLocked(fmt.Errorf("store: log of %s unusable: append failed (%v) and rollback failed: %w", l.id, err, terr))
+		} else {
+			l.f.Seek(prev, 0)
+		}
+		l.mu.Unlock()
+		return fmt.Errorf("store: appending to log of %s: %w", l.id, err)
+	}
+	l.st.Seq++
+	l.st.WALBytes += int64(len(rec))
+	switch op {
+	case OpCheckpoint:
+		l.ckptOff = l.st.WALBytes - int64(len(rec))
+		l.st.OpsSinceCheckpoint = 0
+		var meta struct {
+			At time.Time `json:"at"`
+		}
+		json.Unmarshal(body, &meta)
+		l.st.LastCheckpointAt = meta.At
+	case OpRelearn, OpRemove:
+	default:
+		l.st.OpsSinceCheckpoint++
+	}
+	f := l.f
+	end := l.st.WALBytes
+	gen := l.gen
+	l.inflight.Add(1)
+	l.mu.Unlock()
+	// Group commit outside the log lock: other appenders (and the
+	// compactor) proceed while the batch syncs. If a compaction swapped
+	// the file meanwhile, syncing the old handle is redundant but
+	// harmless — the compactor synced the new file before renaming it,
+	// and our record was part of what it copied (Compact waits for
+	// inflight commits before closing the old handle).
+	cerr := l.store.gc.commit(f)
+	// Done before re-locking: Compact waits on inflight with l.mu held,
+	// so the reverse order would deadlock.
+	l.inflight.Done()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if cerr != nil {
+		l.poisonLocked(fmt.Errorf("store: log of %s unusable after failed sync: %w", l.id, cerr))
+		return fmt.Errorf("store: committing log of %s: %w", l.id, cerr)
+	}
+	if l.err != nil {
+		// Another append's sync failed while ours raced it; the file
+		// may have been truncated below our record, so a success ack
+		// here could be a lie. Fail the append — the client retries.
+		return l.err
+	}
+	if gen == l.gen && end > l.durable {
+		// A compaction in the window rewrote the file and already set
+		// the watermark to its fully-synced size; a stale offset from
+		// the previous layout must not move it.
+		l.durable = end
+	}
+	return nil
+}
+
+// poisonLocked marks the log failed and cuts the file back to the
+// durability horizon, so no record that might have missed its fsync
+// can ever be read back (and replayed, and acknowledged) later. Call
+// with l.mu held.
+func (l *Log) poisonLocked(err error) {
+	if l.err != nil {
+		return
+	}
+	l.err = err
+	if l.f != nil {
+		if terr := l.f.Truncate(l.durable); terr == nil {
+			l.f.Seek(l.durable, 0)
+			l.st.WALBytes = l.durable
+		}
+	}
+}
+
+// encodePayload normalizes the Append payload forms to one JSON object
+// on a single line.
+func encodePayload(payload any) ([]byte, error) {
+	var body []byte
+	switch p := payload.(type) {
+	case json.RawMessage:
+		body = p
+	case []byte:
+		body = p
+	default:
+		var err error
+		if body, err = json.Marshal(payload); err != nil {
+			return nil, err
+		}
+	}
+	body = bytes.TrimSpace(body)
+	if len(body) == 0 || bytes.ContainsRune(body, '\n') {
+		return nil, fmt.Errorf("payload must be one newline-free JSON value")
+	}
+	return body, nil
+}
+
+// Stats returns the current compaction-debt gauges.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.st
+}
+
+// CompactionDebt reports the dead bytes a Compact would reclaim: the
+// prefix before the latest checkpoint. Zero when the log has no
+// checkpoint (nothing can be cut yet — the caller should checkpoint
+// first).
+func (l *Log) CompactionDebt() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.ckptOff < 0 {
+		return 0
+	}
+	return l.ckptOff
+}
+
+// Recovery is the result of scanning a log: the latest checkpoint (nil
+// when the log predates its first one), the operation records after it
+// in append order, and whether the log was tombstoned or had a torn
+// tail truncated.
+type Recovery struct {
+	Checkpoint json.RawMessage
+	Tail       []Record
+	Removed    bool
+	Truncated  bool
+}
+
+// Recover verifies the whole log and returns what a restart must do:
+// load Checkpoint, replay Tail. Damaged tails are truncated in place
+// (see scan). Marker records (relearn) are filtered out of Tail;
+// genesis logs (no checkpoint yet) return the create record at the
+// head of Tail.
+func (l *Log) Recover() (*Recovery, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil, fmt.Errorf("store: log of %s is closed", l.id)
+	}
+	rec := &Recovery{}
+	truncated, err := l.scan(func(r Record) error {
+		switch r.Op {
+		case OpCheckpoint:
+			rec.Checkpoint = r.Payload
+			rec.Tail = rec.Tail[:0]
+			rec.Removed = false
+		case OpRemove:
+			rec.Removed = true
+		case OpRelearn:
+		default:
+			rec.Tail = append(rec.Tail, r)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rec.Truncated = truncated
+	if _, err := l.f.Seek(l.st.WALBytes, 0); err != nil {
+		return nil, fmt.Errorf("store: seeking log of %s: %w", l.id, err)
+	}
+	return rec, nil
+}
+
+// Compact rewrites the log to start at its latest checkpoint,
+// reclaiming the dead prefix: (checkpoint, tail) is copied into a temp
+// file, fsync'd, and renamed over the log atomically — a crash at any
+// point leaves either the old or the new file, both valid. Appends are
+// excluded only while the tail (small by the checkpoint policy) is
+// copied; no session work or read traffic is involved. A log without a
+// checkpoint is left untouched.
+func (l *Log) Compact() (reclaimed int64, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return 0, fmt.Errorf("store: log of %s is closed", l.id)
+	}
+	if l.err != nil {
+		return 0, l.err
+	}
+	if l.ckptOff <= 0 {
+		return 0, nil // no checkpoint, or checkpoint already at the head
+	}
+	cut := l.ckptOff
+	if _, err := l.f.Seek(cut, 0); err != nil {
+		return 0, fmt.Errorf("store: seeking log of %s: %w", l.id, err)
+	}
+	// Until the rename commits, any failure must leave the (untouched)
+	// original file positioned at its end again — otherwise the next
+	// append would splice its frame into the middle of the log, over
+	// records that are already acknowledged.
+	committed := false
+	defer func() {
+		if err != nil && !committed {
+			l.f.Seek(l.st.WALBytes, 0)
+		}
+	}()
+	tmpPath := l.path + ".tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("store: creating compaction file of %s: %w", l.id, err)
+	}
+	defer func() {
+		if err != nil && !committed {
+			tmp.Close()
+			os.Remove(tmpPath)
+		}
+	}()
+	// Copy exactly the live suffix. Sequence numbers are preserved, not
+	// renumbered: recovery only requires them to be dense from wherever
+	// the file starts, and keeping them stable means a record's identity
+	// never changes underneath an operator correlating logs.
+	if _, err = copyN(tmp, l.f, l.st.WALBytes-cut); err != nil {
+		return 0, fmt.Errorf("store: copying live tail of %s: %w", l.id, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return 0, fmt.Errorf("store: syncing compacted log of %s: %w", l.id, err)
+	}
+	if err = os.Rename(tmpPath, l.path); err != nil {
+		return 0, fmt.Errorf("store: renaming compacted log of %s: %w", l.id, err)
+	}
+	committed = true
+	l.store.syncDir()
+	old := l.f
+	l.f = tmp
+	// Drain pending group commits against the old handle before closing
+	// it. New appends cannot start (we hold l.mu), and in-flight ones
+	// never take l.mu at this stage, so this cannot deadlock.
+	l.inflight.Wait()
+	old.Close()
+	l.st.WALBytes -= cut
+	l.ckptOff = 0
+	// The whole compacted file was synced before the rename; reset the
+	// durability horizon to the new layout.
+	l.durable = l.st.WALBytes
+	l.gen++
+	if _, err = l.f.Seek(l.st.WALBytes, 0); err != nil {
+		// The rename already committed; a file we cannot position for
+		// appending is a poisoned log, not a retryable compaction.
+		err = fmt.Errorf("store: seeking compacted log of %s: %w", l.id, err)
+		l.poisonLocked(err)
+		return 0, err
+	}
+	return cut, nil
+}
+
+// copyN copies exactly n bytes (io.CopyN without the io import dance —
+// the seq-dense scan depends on byte-exact copies, so short copies are
+// errors).
+func copyN(dst, src *os.File, n int64) (int64, error) {
+	buf := make([]byte, 1<<16)
+	var copied int64
+	for copied < n {
+		chunk := int64(len(buf))
+		if rem := n - copied; rem < chunk {
+			chunk = rem
+		}
+		rn, err := src.Read(buf[:chunk])
+		if rn > 0 {
+			if _, werr := dst.Write(buf[:rn]); werr != nil {
+				return copied, werr
+			}
+			copied += int64(rn)
+		}
+		if copied >= n {
+			return copied, nil
+		}
+		if err != nil {
+			return copied, err // includes a premature EOF: short copy
+		}
+	}
+	return copied, nil
+}
+
+// close releases the file handle. Unexported: lifecycle belongs to the
+// Store (Close / Remove).
+func (l *Log) close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}

@@ -1,0 +1,313 @@
+// Package store is the durable session store of the serving layer: one
+// append-only write-ahead log per tenant, holding the logical operations
+// (create, delta batch, feedback batch, option change, relearn marker,
+// remove) plus periodic checkpoint records that embed a full session
+// snapshot. The cleaning pipeline is deterministic given the dataset,
+// constraints, weights, and feedback, so a logical log is a sufficient
+// durability primitive: replaying the same operations from the latest
+// checkpoint reproduces the exact pre-crash state, bit for bit.
+//
+// Record format. A log is a sequence of newline-terminated frames:
+//
+//	w1 <crc32c> <seq> <op> <payload-json>\n
+//
+// "w1" is the format version; crc32c is the Castagnoli CRC, in
+// fixed-width hex, over "<seq> <op> <payload>"; seq is the per-log
+// record sequence number (dense); op is the numeric Op code. The
+// payload is one JSON object whose schema belongs to the caller — the
+// store frames and checksums records, it does not interpret them (except
+// for recognizing OpCheckpoint and OpRemove during recovery). JSON never
+// contains a raw newline, so frames are self-delimiting and a log is
+// greppable with standard line tools.
+//
+// Durability. Append writes the frame and then waits for a group commit:
+// concurrent appenders — typically distinct tenants — are batched behind
+// a single leader that fsyncs every dirty file once and wakes all
+// waiters, so the per-operation fsync cost amortizes across concurrent
+// traffic instead of multiplying with it.
+//
+// Recovery. Recover scans the log, verifies every frame, and truncates
+// at the first damaged one — a kill -9 can tear at most the final
+// in-flight record, and everything before it is checksummed. It returns
+// the latest checkpoint payload and the tail of operations after it;
+// "load the checkpoint, replay the tail" is the whole recovery story.
+//
+// Compaction. Everything before the latest checkpoint is dead weight.
+// Compact rewrites the log as (checkpoint, tail) into a temp file,
+// fsyncs it, and atomically renames it over the log. Appends are blocked
+// only for the duration of the copy (the tail is small by construction —
+// the caller checkpoints on an ops budget); readers of recovered state
+// are never involved.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Op is the logical operation type of a record. The store only assigns
+// meaning to OpCheckpoint (recovery restart point) and OpRemove (the log
+// is a tombstone); the rest exist so every writer in the system draws
+// from one closed, versioned vocabulary.
+type Op uint8
+
+const (
+	// OpCreate records the session-creation request (dataset, constraints,
+	// options) — the genesis record a log can be replayed from even
+	// before its first checkpoint.
+	OpCreate Op = 1
+	// OpDeltas records one atomic upsert/delete batch.
+	OpDeltas Op = 2
+	// OpFeedback records one confirmation batch.
+	OpFeedback Op = 3
+	// OpOptions records a change to the session's option overrides.
+	// Reserved: the serving API currently fixes overrides at create time,
+	// but the format versions the op so older stores stay readable when
+	// an option-mutating endpoint lands.
+	OpOptions Op = 4
+	// OpRelearn marks a round on which the relearn schedule retrained
+	// weights. Informational: replay re-derives relearning from the
+	// reclean counter, so markers are skipped — they exist for operators
+	// reading logs, not for recovery.
+	OpRelearn Op = 5
+	// OpRemove is the tombstone appended before a tenant's files are
+	// deleted; recovery treats a log whose last record is OpRemove as
+	// removed and completes the deletion instead of resurrecting it.
+	OpRemove Op = 6
+	// OpCheckpoint embeds a full session snapshot envelope. Recovery
+	// loads the latest checkpoint and replays only the records after it.
+	OpCheckpoint Op = 7
+)
+
+func (op Op) String() string {
+	switch op {
+	case OpCreate:
+		return "create"
+	case OpDeltas:
+		return "deltas"
+	case OpFeedback:
+		return "feedback"
+	case OpOptions:
+		return "options"
+	case OpRelearn:
+		return "relearn"
+	case OpRemove:
+		return "remove"
+	case OpCheckpoint:
+		return "checkpoint"
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// walSuffix names the per-tenant log files; tmpSuffix is the compaction
+// scratch file renamed over the log.
+const (
+	walSuffix = ".wal"
+	tmpSuffix = ".wal.tmp"
+)
+
+// Store manages the per-tenant logs of one directory.
+type Store struct {
+	dir string
+	gc  *groupCommitter
+
+	mu   sync.Mutex
+	logs map[string]*Log
+}
+
+// Open prepares dir as a session store, creating it if needed.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	return &Store{dir: dir, gc: newGroupCommitter(), logs: make(map[string]*Log)}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// IDs lists the tenant ids with a log on disk, sorted, including
+// tombstoned ones (recovery decides their fate). Compaction leftovers
+// (*.wal.tmp) are not sessions and are skipped.
+func (s *Store) IDs() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading %s: %w", s.dir, err)
+	}
+	var ids []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || strings.HasSuffix(name, tmpSuffix) {
+			continue
+		}
+		if id, ok := strings.CutSuffix(name, walSuffix); ok && id != "" {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// Log returns the open log for tenant id, opening (or creating) it on
+// first use. Counters (sequence, size, checkpoint position) are primed
+// by scanning the existing file, so Stats are truthful immediately
+// after a restart.
+func (s *Store) Log(id string) (*Log, error) {
+	if id == "" || strings.ContainsAny(id, "/\\") {
+		return nil, fmt.Errorf("store: invalid tenant id %q", id)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if l, ok := s.logs[id]; ok {
+		return l, nil
+	}
+	l, err := openLog(s, id)
+	if err != nil {
+		return nil, err
+	}
+	s.logs[id] = l
+	return l, nil
+}
+
+// Remove deletes tenant id's log: a best-effort tombstone record is
+// appended (so a crash between here and the unlink completes the
+// removal at next recovery instead of resurrecting the session), the
+// log is closed, and the files are unlinked. The unlink error, if any,
+// is returned — callers must surface it rather than reporting a
+// deletion that did not happen; the tombstone makes a retry safe.
+func (s *Store) Remove(id string) error {
+	s.mu.Lock()
+	l := s.logs[id]
+	delete(s.logs, id)
+	s.mu.Unlock()
+	if l != nil {
+		// The tombstone is advisory; failing to write it must not block
+		// the removal (the unlink below is the operation that counts).
+		l.Append(OpRemove, []byte("{}"))
+		l.close()
+	}
+	path := filepath.Join(s.dir, id+walSuffix)
+	err := os.Remove(path)
+	if errors.Is(err, os.ErrNotExist) {
+		err = nil
+	}
+	if rmTmp := os.Remove(path + ".tmp"); rmTmp != nil && !errors.Is(rmTmp, os.ErrNotExist) && err == nil {
+		err = rmTmp
+	}
+	if err != nil {
+		return fmt.Errorf("store: removing log of %s: %w", id, err)
+	}
+	s.syncDir()
+	return nil
+}
+
+// Close releases every open log. It does not fsync: Append already
+// returned only after its group commit, so there is nothing volatile to
+// lose — which is the point of the store.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for id, l := range s.logs {
+		if err := l.close(); err != nil && first == nil {
+			first = err
+		}
+		delete(s.logs, id)
+	}
+	return first
+}
+
+// syncDir fsyncs the store directory so renames and unlinks are durable
+// against the metadata journal, not only the page cache. Best-effort:
+// some filesystems refuse directory fsync; the data files themselves
+// are always synced explicitly.
+func (s *Store) syncDir() {
+	if d, err := os.Open(s.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// --- group commit ---
+
+// groupCommitter batches fsyncs: every Append registers its dirty file
+// and waits; the first waiter becomes the leader, snapshots the current
+// batch, syncs each distinct file once, and wakes the batch. Appenders
+// arriving during a sync form the next batch, so under concurrent load
+// the fsync count is one per file per batch rather than one per record.
+type groupCommitter struct {
+	mu      sync.Mutex
+	syncing bool
+	batch   *commitBatch
+}
+
+// commitBatch is one generation of waiters and their dirty files.
+type commitBatch struct {
+	files map[*os.File]struct{}
+	done  chan struct{}
+	// errs maps a file to its sync failure; waiters look up their own
+	// file so one tenant's bad disk does not fail another's commit.
+	errs map[*os.File]error
+}
+
+func newGroupCommitter() *groupCommitter { return &groupCommitter{} }
+
+// commit makes f's written data durable, batching with concurrent
+// callers. It returns when a sync that started at or after this call's
+// registration has completed for f. The first caller of a batch becomes
+// its leader; callers arriving while the leader is syncing queue into
+// the next batch, which the leader drains before retiring — so every
+// batch is synced exactly once and no waiter can be stranded.
+func (gc *groupCommitter) commit(f *os.File) error {
+	gc.mu.Lock()
+	if gc.batch == nil {
+		gc.batch = newCommitBatch()
+	}
+	b := gc.batch
+	b.files[f] = struct{}{}
+	if gc.syncing {
+		// A leader is mid-sync and will drain this batch next.
+		gc.mu.Unlock()
+		<-b.done
+		return b.errs[f]
+	}
+	gc.syncing = true
+	var myErr error
+	mine := b
+	for {
+		gc.batch = nil
+		gc.mu.Unlock()
+		for file := range b.files {
+			if err := file.Sync(); err != nil {
+				b.errs[file] = err
+			}
+		}
+		if b == mine {
+			myErr = b.errs[f]
+		}
+		close(b.done)
+		gc.mu.Lock()
+		if gc.batch == nil {
+			gc.syncing = false
+			gc.mu.Unlock()
+			return myErr
+		}
+		b = gc.batch
+	}
+}
+
+func newCommitBatch() *commitBatch {
+	return &commitBatch{
+		files: make(map[*os.File]struct{}),
+		done:  make(chan struct{}),
+		errs:  make(map[*os.File]error),
+	}
+}

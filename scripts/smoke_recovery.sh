@@ -1,0 +1,140 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke test for the durable session store: run
+# holocleand with -store-dir as a real process, apply a scripted
+# workload, kill -9 it mid-script, restart over the same store, retry
+# the last (ambiguous) request and replay the remainder — then assert
+# the final repairs and exported CSV are byte-identical to an
+# uninterrupted control run of the same script. Also covers graceful
+# SIGTERM shutdown (must exit 0 and leave a recoverable store). CI runs
+# this; it also works locally from the repo root:
+# ./scripts/smoke_recovery.sh
+set -euo pipefail
+
+addr="127.0.0.1:${SMOKE_PORT:-8107}"
+base="http://$addr"
+workdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+  [ -n "$server_pid" ] && kill -9 "$server_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== building holocleand and datagen"
+go build -o "$workdir/holocleand" ./cmd/holocleand
+go build -o "$workdir/datagen" ./cmd/datagen
+
+echo "== generating hospital workload"
+(cd "$workdir" && ./datagen -dataset hospital -tuples 300 -seed 1 -out hospital)
+test -s "$workdir/hospital_dirty.csv"
+test -s "$workdir/hospital_constraints.txt"
+
+start_server() { # $1 = store dir
+  "$workdir/holocleand" -addr "$addr" -store-dir "$1" -max-jobs 2 -queue-depth 8 &
+  server_pid=$!
+  local up=""
+  for _ in $(seq 1 100); do
+    if curl -fsS "$base/healthz" >/dev/null 2>&1; then up=1; break; fi
+    sleep 0.2
+  done
+  [ -n "$up" ] || { echo "FAIL: server did not come up"; exit 1; }
+}
+
+jget() { printf '%s' "$1" | sed -n "s/.*\"$2\":\([0-9][0-9]*\).*/\1/p" | head -n1; }
+sget() { printf '%s' "$1" | sed -n "s/.*\"$2\":\"\([^\"]*\)\".*/\1/p" | head -n1; }
+
+create_session() {
+  created=$(curl -fsS \
+    -F data=@"$workdir/hospital_dirty.csv" \
+    -F dcs=@"$workdir/hospital_constraints.txt" \
+    -F name=recovery -F seed=1 -F relearn_every=2 \
+    "$base/sessions")
+  id=$(sget "$created" id)
+  [ -n "$id" ] || { echo "FAIL: no session id in $created"; exit 1; }
+}
+
+# The scripted ops. Each carries a deterministic op_id so a retry after
+# the kill is deduplicated instead of double-applied. The upsert needs
+# one value per schema attribute; build the list from the CSV header.
+ncols=$(head -n1 "$workdir/hospital_dirty.csv" | awk -F, '{print NF}')
+vals=""
+for i in $(seq 1 "$ncols"); do vals="$vals\"rx-$i\","; done
+vals=${vals%,}
+delta1='{"op_id":"d1","ops":[{"op":"delete","row":3},{"op":"upsert","row":17,"values":['"$vals"']}]}'
+delta2='{"op_id":"d2","ops":[{"op":"delete","row":9},{"op":"delete","row":21}]}'
+
+apply_delta() { # $1 = body; prints response
+  curl -fsS -X POST -H 'Content-Type: application/json' -d "$1" "$base/sessions/$id/deltas"
+}
+
+apply_feedback() { # confirms the head of the review queue with op_id f1
+  review=$(curl -fsS "$base/sessions/$id/review?threshold=1.01&limit=1")
+  tuple=$(printf '%s' "$review" | sed -n 's/.*"items":\[{"tuple":\([0-9]*\),.*/\1/p')
+  attr=$(printf '%s' "$review" | sed -n 's/.*"items":\[{"tuple":[0-9]*,"attr":"\([^"]*\)".*/\1/p')
+  value=$(printf '%s' "$review" | sed -n 's/.*"items":\[{[^}]*"new":"\([^"]*\)".*/\1/p')
+  [ -n "$tuple" ] && [ -n "$attr" ] && [ -n "$value" ] || { echo "FAIL: cannot parse review item: $review"; exit 1; }
+  value=$(printf '%s' "$value" | sed 's/\\/\\\\/g; s/"/\\"/g')
+  curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d "{\"op_id\":\"f1\",\"items\":[{\"tuple\":$tuple,\"attr\":\"$attr\",\"value\":\"$value\"}]}" \
+    "$base/sessions/$id/feedback"
+}
+
+final_state() { # $1 = output prefix
+  curl -fsS "$base/sessions/$id/repairs" > "$workdir/$1_repairs.json"
+  curl -fsS "$base/sessions/$id/dataset" > "$workdir/$1_dataset.csv"
+}
+
+echo "== control run (uninterrupted)"
+start_server "$workdir/store_control"
+create_session
+ctl_id=$id
+apply_delta "$delta1" >/dev/null
+apply_feedback >/dev/null
+apply_delta "$delta2" >/dev/null
+final_state control
+echo "== control: graceful SIGTERM must exit 0 and leave a recoverable store"
+kill -TERM "$server_pid"
+rc=0
+wait "$server_pid" || rc=$?
+[ "$rc" = "0" ] || { echo "FAIL: SIGTERM exit code $rc, want 0"; exit 1; }
+server_pid=""
+start_server "$workdir/store_control"
+id=$ctl_id
+listed=$(curl -fsS "$base/sessions")
+printf '%s' "$listed" | grep -q "\"$ctl_id\"" || { echo "FAIL: session lost across graceful restart: $listed"; exit 1; }
+final_state control_restarted
+cmp "$workdir/control_repairs.json" "$workdir/control_restarted_repairs.json" || { echo "FAIL: graceful restart changed repairs"; exit 1; }
+cmp "$workdir/control_dataset.csv" "$workdir/control_restarted_dataset.csv" || { echo "FAIL: graceful restart changed dataset"; exit 1; }
+kill "$server_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+
+echo "== victim run: kill -9 after the feedback round"
+start_server "$workdir/store_victim"
+create_session
+victim_id=$id
+[ "$victim_id" = "$ctl_id" ] || { echo "FAIL: victim id $victim_id != control id $ctl_id (ids must be deterministic)"; exit 1; }
+apply_delta "$delta1" >/dev/null
+apply_feedback >/dev/null
+echo "== kill -9 (no shutdown hook, no checkpoint)"
+kill -9 "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+
+echo "== restart over the crashed store"
+start_server "$workdir/store_victim"
+id=$victim_id
+listed=$(curl -fsS "$base/sessions")
+printf '%s' "$listed" | grep -q "\"$victim_id\"" || { echo "FAIL: session not recovered: $listed"; exit 1; }
+
+echo "== retry the ambiguous last request (must deduplicate, not re-apply)"
+retry=$(apply_feedback)
+printf '%s' "$retry" | grep -q '"duplicate":true' || { echo "FAIL: feedback retry not deduplicated: $retry"; exit 1; }
+
+echo "== replay the remainder and compare"
+apply_delta "$delta2" >/dev/null
+final_state victim
+cmp "$workdir/control_repairs.json" "$workdir/victim_repairs.json" || { echo "FAIL: repairs differ between crashed+recovered and control runs"; exit 1; }
+cmp "$workdir/control_dataset.csv" "$workdir/victim_dataset.csv" || { echo "FAIL: repaired CSV differs between crashed+recovered and control runs"; exit 1; }
+
+echo "PASS: crash recovery smoke (kill -9 + restart replays to byte-identical state; SIGTERM drains cleanly)"

@@ -28,8 +28,8 @@ echo "== generating hospital workload"
 test -s "$workdir/hospital_dirty.csv"
 test -s "$workdir/hospital_constraints.txt"
 
-echo "== starting holocleand on $addr"
-"$workdir/holocleand" -addr "$addr" -max-jobs 2 -queue-depth 8 &
+echo "== starting holocleand on $addr (durable store enabled)"
+"$workdir/holocleand" -addr "$addr" -max-jobs 2 -queue-depth 8 -store-dir "$workdir/store" &
 server_pid=$!
 
 up=""
@@ -65,6 +65,15 @@ repairs=$(jget "$created" repairs)
 [ -n "$id" ] || { echo "FAIL: no session id in $created"; exit 1; }
 [ -n "$repairs" ] && [ "$repairs" -gt 0 ] || { echo "FAIL: empty repairs after create: $created"; exit 1; }
 echo "   session $id: $repairs repairs"
+
+echo "== store gauges: session listing and /healthz expose compaction debt"
+status=$(curl -fsS "$base/sessions/$id")
+printf '%s' "$status" | grep -q '"wal_bytes":[1-9]' || { echo "FAIL: no wal_bytes in session status: $status"; exit 1; }
+printf '%s' "$status" | grep -q '"ops_since_checkpoint":' || { echo "FAIL: no ops_since_checkpoint in session status: $status"; exit 1; }
+printf '%s' "$status" | grep -q '"last_checkpoint_at":"' || { echo "FAIL: no last_checkpoint_at in session status: $status"; exit 1; }
+health=$(curl -fsS "$base/healthz")
+printf '%s' "$health" | grep -q '"store":{"enabled":true' || { echo "FAIL: /healthz missing store aggregate: $health"; exit 1; }
+printf '%s' "$health" | grep -q '"wal_bytes":[1-9]' || { echo "FAIL: /healthz wal_bytes empty: $health"; exit 1; }
 
 echo "== delta batch (coalesced into one incremental reclean)"
 delta=$(curl -fsS -X POST -H 'Content-Type: application/json' \

@@ -28,6 +28,18 @@ type SessionInfo struct {
 	// Stats describes the session's most recent pipeline run. Absent on
 	// evicted sessions (the result cache is released with the session).
 	Stats *RunStatsInfo `json:"stats,omitempty"`
+	// Store reports the session's write-ahead-log gauges; absent when
+	// the server runs without a durable store.
+	Store *SessionStoreInfo `json:"store,omitempty"`
+}
+
+// SessionStoreInfo is the operator view of one session's operation log
+// — the compaction-debt gauges: how big the log is, how many operations
+// recovery would replay, and when the last checkpoint was cut.
+type SessionStoreInfo struct {
+	WALBytes           int64      `json:"wal_bytes"`
+	OpsSinceCheckpoint int        `json:"ops_since_checkpoint"`
+	LastCheckpointAt   *time.Time `json:"last_checkpoint_at,omitempty"`
 }
 
 // RunStatsInfo is holoclean.RunStats with wall-clock durations in
@@ -117,6 +129,12 @@ func (op *DeltaOp) UnmarshalJSON(b []byte) error {
 // front, applied atomically, and coalesced into a single Reclean.
 type DeltaRequest struct {
 	Ops []DeltaOp `json:"ops"`
+	// OpID is an optional idempotency key (also settable via the
+	// Idempotency-Key header). A batch retried with the op_id of an
+	// already-applied batch — a client re-sending after an ambiguous
+	// failure or a daemon crash — is acknowledged without being
+	// re-applied (DeltaResponse.Duplicate).
+	OpID string `json:"op_id,omitempty"`
 }
 
 // DeltaResponse reports one coalesced reclean.
@@ -125,6 +143,10 @@ type DeltaResponse struct {
 	Tuples  int           `json:"tuples"`
 	Repairs int           `json:"repairs"`
 	Stats   *RunStatsInfo `json:"stats"`
+	// Duplicate reports that the batch's op_id was already applied and
+	// the request was acknowledged without re-applying it; Applied is 0
+	// and Stats absent (no pipeline ran).
+	Duplicate bool `json:"duplicate,omitempty"`
 }
 
 // RepairInfo is one proposed (or reviewable) repair on the wire.
@@ -180,6 +202,8 @@ func (it *FeedbackItem) UnmarshalJSON(b []byte) error {
 // FeedbackRequest is the JSON body of POST /sessions/{id}/feedback.
 type FeedbackRequest struct {
 	Items []FeedbackItem `json:"items"`
+	// OpID is an optional idempotency key; see DeltaRequest.OpID.
+	OpID string `json:"op_id,omitempty"`
 }
 
 // FeedbackResponse reports one applied feedback round.
@@ -187,6 +211,8 @@ type FeedbackResponse struct {
 	Confirmed int           `json:"confirmed"`
 	Repairs   int           `json:"repairs"`
 	Stats     *RunStatsInfo `json:"stats"`
+	// Duplicate mirrors DeltaResponse.Duplicate for retried batches.
+	Duplicate bool `json:"duplicate,omitempty"`
 }
 
 // ErrorResponse is the JSON envelope of every non-2xx response.
@@ -201,4 +227,19 @@ type HealthResponse struct {
 	// Queued is the number of heavy jobs currently running or waiting
 	// for a slot; load balancers can shed on it before hitting 429s.
 	Queued int `json:"queued"`
+	// Draining reports a graceful shutdown in progress: heavy jobs are
+	// being refused with 503 while in-flight work completes.
+	Draining bool `json:"draining,omitempty"`
+	// Store aggregates the durable store's gauges; absent without one.
+	Store *StoreHealth `json:"store,omitempty"`
+}
+
+// StoreHealth is the server-wide durable-store summary of /healthz:
+// total log size and un-checkpointed operations across all sessions —
+// the global compaction/recovery debt.
+type StoreHealth struct {
+	Enabled            bool   `json:"enabled"`
+	Dir                string `json:"dir"`
+	WALBytes           int64  `json:"wal_bytes"`
+	OpsSinceCheckpoint int    `json:"ops_since_checkpoint"`
 }

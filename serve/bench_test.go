@@ -21,6 +21,23 @@ import (
 // counterpart of BenchmarkIncrementalReclean, with JSON codec, HTTP
 // round trip, session locking and the job queue included.
 func BenchmarkServeReclean(b *testing.B) {
+	benchServeReclean(b, Config{Workers: 1, MaxConcurrentJobs: 1, QueueDepth: 4})
+}
+
+// BenchmarkServeRecleanDurable is the same request path with the
+// durable store enabled: every delta batch is WAL-appended and fsync'd
+// (group commit) before the response. The delta between the two
+// benchmarks is the durability overhead on the reclean path — tracked
+// in CI via BENCH_serve.json with a <15% ns/op target.
+func BenchmarkServeRecleanDurable(b *testing.B) {
+	b.ReportAllocs()
+	benchServeReclean(b, Config{
+		Workers: 1, MaxConcurrentJobs: 1, QueueDepth: 4,
+		StoreDir: b.TempDir(),
+	})
+}
+
+func benchServeReclean(b *testing.B, cfg Config) {
 	g := datagen.Hospital(datagen.Config{Tuples: 1000, Seed: 1})
 	var csvBuf bytes.Buffer
 	if err := g.Dirty.WriteCSV(&csvBuf); err != nil {
@@ -30,7 +47,10 @@ func BenchmarkServeReclean(b *testing.B) {
 	for _, c := range g.Constraints {
 		fmt.Fprintf(&dcs, "%s: %s\n", c.Name, c.String())
 	}
-	sv := New(Config{Workers: 1, MaxConcurrentJobs: 1, QueueDepth: 4})
+	sv, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
 	ts := httptest.NewServer(sv)
 	defer ts.Close()
 	defer sv.Close()

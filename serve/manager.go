@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"holoclean"
+	"holoclean/internal/store"
 )
 
 // errBusy is returned by acquire when the bounded job queue is full; the
@@ -72,12 +73,22 @@ type tenant struct {
 	ov      overrides
 	created time.Time
 
+	// log is the tenant's write-ahead operation log (nil when the server
+	// runs without a store). Set before the tenant is registered and
+	// immutable afterwards, so stats reads need no lock.
+	log *store.Log
+
 	mu      sync.Mutex
 	session *holoclean.Session
 	// snapshot holds the serialized session while evicted (nil when the
 	// session is live, or when it lives in snapshotPath on disk instead).
+	// Unused in store mode: the log's checkpoint record is the snapshot.
 	snapshot     []byte
 	snapshotPath string
+	// applied is the duplicate-detection window of op ids (guarded by
+	// mu; appliedOrder retires them FIFO at maxAppliedOps).
+	applied      map[string]bool
+	appliedOrder []string
 
 	resMu sync.RWMutex
 	last  *holoclean.Result
@@ -142,6 +153,7 @@ func (t *tenant) info() SessionInfo {
 	if t.last != nil {
 		out.Stats = runStatsInfo(t.last.Stats)
 	}
+	out.Store = t.storeStats()
 	return out
 }
 
@@ -150,6 +162,9 @@ func (t *tenant) info() SessionInfo {
 // wait. Beyond that the queue refuses immediately with errBusy — the
 // backpressure signal — instead of letting latency grow without bound.
 func (sv *Server) acquire(ctx context.Context) (release func(), err error) {
+	if sv.draining.Load() {
+		return nil, errDraining
+	}
 	if int(sv.queued.Add(1)) > sv.cfg.MaxConcurrentJobs+sv.cfg.QueueDepth {
 		sv.queued.Add(-1)
 		return nil, errBusy
@@ -217,21 +232,38 @@ func (sv *Server) nextID() string {
 	return fmt.Sprintf("s%d", sv.idSeq.Add(1))
 }
 
-// remove deletes a tenant and any on-disk snapshot.
-func (sv *Server) remove(id string) bool {
-	sv.mu.Lock()
-	t, ok := sv.sessions[id]
-	delete(sv.sessions, id)
-	sv.mu.Unlock()
-	if !ok {
-		return false
+// remove deletes a tenant and its on-disk state (WAL segment or
+// eviction snapshot). Deleting the durable state is part of the
+// operation, not a best-effort afterthought: on failure the tenant
+// stays registered and the error is returned for the API response —
+// silently dropping the entry while the file survives would resurrect
+// "deleted" data at the next restart. The tombstone (store mode) makes
+// a retry safe.
+func (sv *Server) remove(id string) (found bool, err error) {
+	t := sv.lookup(id)
+	if t == nil {
+		return false, nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.snapshotPath != "" {
-		os.Remove(t.snapshotPath)
+	if sv.lookup(id) != t {
+		return false, nil // lost a race against another DELETE
 	}
-	return true
+	if t.log != nil {
+		if err := sv.store.Remove(id); err != nil {
+			return true, err
+		}
+	} else if t.snapshotPath != "" {
+		if err := os.Remove(t.snapshotPath); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return true, fmt.Errorf("serve: removing snapshot of %s: %w", id, err)
+		}
+	}
+	sv.mu.Lock()
+	delete(sv.sessions, id)
+	sv.mu.Unlock()
+	t.session = nil
+	t.snapshot = nil
+	return true, nil
 }
 
 // list returns session infos sorted by id.
@@ -270,6 +302,23 @@ func (sv *Server) list() []SessionInfo {
 // replays the pipeline once).
 func (sv *Server) ensureLive(t *tenant) error {
 	if t.session != nil {
+		return nil
+	}
+	if t.log != nil {
+		// Store mode: the log's latest checkpoint is the snapshot. An
+		// evicted log normally has an empty tail; replayTenant handles a
+		// nonempty one identically (ops appended after the checkpoint),
+		// so restore and crash recovery are one code path.
+		rec, err := t.log.Recover()
+		if err != nil {
+			return fmt.Errorf("serve: recovering %s: %w", t.id, err)
+		}
+		t.applied = nil
+		t.appliedOrder = nil
+		if err := sv.replayTenant(t, rec); err != nil {
+			return fmt.Errorf("serve: restoring %s: %w", t.id, err)
+		}
+		sv.logf("serve: restored session %s from store (%d tuples)", t.id, t.session.NumTuples())
 		return nil
 	}
 	data := t.snapshot
@@ -353,42 +402,41 @@ func (sv *Server) evictLocked(t *tenant) error {
 		// successful reclean returns it to a steady state.
 		return fmt.Errorf("session has %d tuples with staged mutations", t.session.PendingMutations())
 	}
-	var sessBuf bytes.Buffer
-	if err := t.session.Snapshot(&sessBuf); err != nil {
-		return err
-	}
-	t.resMu.RLock()
-	sum := t.sum
-	t.resMu.RUnlock()
-	var buf bytes.Buffer
-	if err := json.NewEncoder(&buf).Encode(&serverSnapshot{
-		Name:      t.name,
-		Overrides: t.ov,
-		Tuples:    sum.tuples,
-		Attrs:     sum.attrs,
-		Repairs:   sum.repairs,
-		Recleans:  sum.recleans,
-		Confirmed: sum.confirmed,
-		Session:   json.RawMessage(bytes.TrimSpace(sessBuf.Bytes())),
-	}); err != nil {
-		return err
-	}
-	if sv.cfg.SnapshotDir != "" {
-		path := filepath.Join(sv.cfg.SnapshotDir, t.id+".snapshot.json")
-		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+	if t.log != nil {
+		// Store mode: the snapshot is a checkpoint record; compaction
+		// immediately drops the now-redundant history before it.
+		if err := sv.checkpointLocked(t); err != nil {
 			return err
 		}
-		t.snapshotPath = path
-		t.snapshot = nil
+		if _, err := t.log.Compact(); err != nil {
+			sv.logf("serve: compacting %s after eviction: %v", t.id, err)
+		}
 	} else {
-		t.snapshot = buf.Bytes()
+		env, err := sv.buildEnvelope(t)
+		if err != nil {
+			return err
+		}
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(env); err != nil {
+			return err
+		}
+		if sv.cfg.SnapshotDir != "" {
+			path := filepath.Join(sv.cfg.SnapshotDir, t.id+".snapshot.json")
+			if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+				return err
+			}
+			t.snapshotPath = path
+			t.snapshot = nil
+		} else {
+			t.snapshot = buf.Bytes()
+		}
 	}
 	t.session = nil
 	t.resMu.Lock()
 	t.last = nil
 	t.csv = nil
 	t.resMu.Unlock()
-	sv.logf("serve: evicted idle session %s (%d snapshot bytes)", t.id, buf.Len())
+	sv.logf("serve: evicted idle session %s", t.id)
 	return nil
 }
 

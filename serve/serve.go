@@ -32,6 +32,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -45,6 +46,7 @@ import (
 	"time"
 
 	"holoclean"
+	"holoclean/internal/store"
 )
 
 // Config tunes the server. The zero value is usable: defaults are filled
@@ -73,8 +75,25 @@ type Config struct {
 	// SweepEvery is the janitor period (default IdleTimeout/2).
 	SweepEvery time.Duration
 	// SnapshotDir persists eviction snapshots on disk (and reloads them
-	// on startup); empty keeps snapshots in memory.
+	// on startup); empty keeps snapshots in memory. Superseded by
+	// StoreDir, which covers eviction durability and crash recovery;
+	// when both are set the store wins and SnapshotDir is ignored.
 	SnapshotDir string
+	// StoreDir enables the durable session store: one append-only
+	// write-ahead log per session under this directory, fsync'd (group
+	// commit) before any mutating request is acknowledged, with
+	// periodic checkpoint records and background compaction. On startup
+	// every log is recovered — load the latest checkpoint, replay the
+	// tail — so a hard crash loses nothing that was acknowledged.
+	StoreDir string
+	// CheckpointEvery is the ops budget between checkpoint records
+	// (default 16): the maximum tail length recovery has to replay.
+	CheckpointEvery int
+	// CompactAfterBytes compacts a log once the dead prefix before its
+	// latest checkpoint exceeds this size (default 1 MiB).
+	CompactAfterBytes int64
+	// CompactEvery is the background compactor period (default 30s).
+	CompactEvery time.Duration
 	// MaxUploadBytes caps request bodies (default 32 MiB).
 	MaxUploadBytes int64
 	// Logf receives operational log lines; nil silences them.
@@ -92,13 +111,17 @@ type Server struct {
 	queued   atomic.Int32
 	jobEWMA  atomic.Int64
 	idSeq    atomic.Int64
+	store    *store.Store
+	draining atomic.Bool
 	stop     chan struct{}
 	stopOnce sync.Once
 }
 
-// New builds a Server from cfg, loads any on-disk snapshots, and starts
-// the eviction janitor (when IdleTimeout is set). Call Close to stop it.
-func New(cfg Config) *Server {
+// New builds a Server from cfg, recovers the durable store (when
+// StoreDir is set; otherwise loads any on-disk snapshots), and starts
+// the eviction janitor and log compactor. Call Close to stop the
+// background goroutines, or Shutdown for a graceful drain.
+func New(cfg Config) (*Server, error) {
 	if cfg.MaxConcurrentJobs <= 0 {
 		cfg.MaxConcurrentJobs = 2
 	}
@@ -114,6 +137,15 @@ func New(cfg Config) *Server {
 	if cfg.MaxUploadBytes <= 0 {
 		cfg.MaxUploadBytes = 32 << 20
 	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 16
+	}
+	if cfg.CompactAfterBytes <= 0 {
+		cfg.CompactAfterBytes = 1 << 20
+	}
+	if cfg.CompactEvery <= 0 {
+		cfg.CompactEvery = 30 * time.Second
+	}
 	sv := &Server{
 		cfg:      cfg,
 		sessions: make(map[string]*tenant),
@@ -121,17 +153,85 @@ func New(cfg Config) *Server {
 		stop:     make(chan struct{}),
 	}
 	sv.routes()
-	if cfg.SnapshotDir != "" {
+	if cfg.StoreDir != "" {
+		st, err := store.Open(cfg.StoreDir)
+		if err != nil {
+			return nil, err
+		}
+		sv.store = st
+		sv.loadStore()
+		go sv.compactor(sv.stop)
+	} else if cfg.SnapshotDir != "" {
 		sv.loadSnapshots()
 	}
 	if cfg.IdleTimeout > 0 {
 		go sv.janitor(sv.stop)
 	}
-	return sv
+	return sv, nil
 }
 
-// Close stops the eviction janitor. In-flight requests finish normally.
-func (sv *Server) Close() { sv.stopOnce.Do(func() { close(sv.stop) }) }
+// Close stops the background goroutines (janitor, compactor) and
+// releases the store's file handles. In-flight requests finish
+// normally; nothing acknowledged needs flushing — appends are durable
+// before their ack. For a graceful drain that also checkpoints every
+// live session, use Shutdown.
+func (sv *Server) Close() {
+	sv.stopOnce.Do(func() { close(sv.stop) })
+	if sv.store != nil {
+		sv.store.Close()
+	}
+}
+
+// errDraining rejects new heavy jobs during Shutdown; the HTTP layer
+// maps it to 503.
+var errDraining = errors.New("serve: shutting down")
+
+// Shutdown drains the server gracefully: new heavy jobs are refused
+// with 503, in-flight jobs run to completion (or ctx expiry), every
+// live session is checkpointed to the store, and background goroutines
+// stop. Safe to call while requests — including a running reclean —
+// are in flight: the reclean finishes, its WAL append lands, and the
+// final checkpoint includes it. Returns ctx.Err() if the drain timed
+// out (the store is still consistent then — the WAL has every
+// acknowledged op — it just recovers from an older checkpoint plus a
+// longer tail).
+func (sv *Server) Shutdown(ctx context.Context) error {
+	sv.draining.Store(true)
+	defer sv.Close()
+	// Drain: wait for running and queued jobs to finish. Job slots are
+	// counted in sv.queued; new ones can no longer enter (draining).
+	for sv.queued.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	if sv.store == nil {
+		return nil
+	}
+	sv.mu.Lock()
+	tenants := make([]*tenant, 0, len(sv.sessions))
+	for _, t := range sv.sessions {
+		tenants = append(tenants, t)
+	}
+	sv.mu.Unlock()
+	for _, t := range tenants {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		t.mu.Lock()
+		if t.session != nil && t.log != nil {
+			if err := sv.checkpointLocked(t); err != nil {
+				sv.logf("serve: shutdown checkpoint of %s: %v", t.id, err)
+			} else if _, err := t.log.Compact(); err != nil {
+				sv.logf("serve: shutdown compaction of %s: %v", t.id, err)
+			}
+		}
+		t.mu.Unlock()
+	}
+	return nil
+}
 
 func (sv *Server) logf(format string, args ...any) {
 	if sv.cfg.Logf != nil {
@@ -240,8 +340,25 @@ func (sv *Server) tenantOr404(w http.ResponseWriter, r *http.Request) *tenant {
 func (sv *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	sv.mu.Lock()
 	n := len(sv.sessions)
+	tenants := make([]*tenant, 0, n)
+	for _, t := range sv.sessions {
+		tenants = append(tenants, t)
+	}
 	sv.mu.Unlock()
-	writeJSON(w, http.StatusOK, HealthResponse{OK: true, Sessions: n, Queued: int(sv.queued.Load())})
+	resp := HealthResponse{OK: true, Sessions: n, Queued: int(sv.queued.Load()), Draining: sv.draining.Load()}
+	if sv.store != nil {
+		agg := &StoreHealth{Enabled: true, Dir: sv.store.Dir()}
+		for _, t := range tenants {
+			if t.log == nil {
+				continue
+			}
+			st := t.log.Stats()
+			agg.WALBytes += st.WALBytes
+			agg.OpsSinceCheckpoint += st.OpsSinceCheckpoint
+		}
+		resp.Store = agg
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (sv *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -257,7 +374,16 @@ func (sv *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 func (sv *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	if !sv.remove(r.PathValue("id")) {
+	found, err := sv.remove(r.PathValue("id"))
+	if err != nil {
+		// The durable state survived the delete attempt: the session
+		// stays registered and the failure is the response — reporting
+		// success here would resurrect the "deleted" session at the
+		// next restart. The operation is retryable.
+		writeError(w, http.StatusInternalServerError, "removing session: %v", err)
+		return
+	}
+	if !found {
 		writeError(w, http.StatusNotFound, "no session %q", r.PathValue("id"))
 		return
 	}
@@ -360,9 +486,49 @@ func (sv *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	if sv.store != nil {
+		// Durability before the ack: the create request (replayable from
+		// genesis) plus a checkpoint of the cleaned state, so recovery
+		// normally skips the expensive initial clean. The tenant is not
+		// registered yet, so no lock is needed.
+		l, err := sv.store.Log(t.id)
+		if err == nil {
+			t.log = l
+			err = l.Append(store.OpCreate, &walCreate{
+				Name: req.Name, CSV: req.CSV, Constraints: req.Constraints,
+				SourceColumn: req.SourceColumn, Overrides: ov,
+			})
+		}
+		if err != nil {
+			sv.store.Remove(t.id) // no orphan genesis logs
+			writeError(w, http.StatusInternalServerError, "logging create: %v", err)
+			return
+		}
+		if err := sv.checkpointLocked(t); err != nil {
+			// The create record alone recovers the session (genesis
+			// replay); a missing first checkpoint only costs boot time.
+			sv.logf("serve: initial checkpoint of %s: %v", t.id, err)
+		}
+	}
 	sv.register(t)
 	sv.logf("serve: created session %s (%d tuples, %d repairs)", t.id, ds.NumTuples(), len(res.Repairs))
 	writeJSON(w, http.StatusCreated, t.info())
+}
+
+// walFail reconciles a tenant whose WAL append failed after the
+// operation was applied in memory: the live session is ahead of the
+// durable log, so it is dropped — the next touch restores from the log,
+// which is the state the client was actually told about (the failed op
+// was answered 500, never acked). Call with t.mu held.
+func (sv *Server) walFail(t *tenant, op string, err error) {
+	sv.logf("serve: %s of %s failed to log, dropping live state for re-restore: %v", op, t.id, err)
+	t.session = nil
+	t.applied = nil
+	t.appliedOrder = nil
+	t.resMu.Lock()
+	t.last = nil
+	t.csv = nil
+	t.resMu.Unlock()
 }
 
 // pageParams parses offset/limit query parameters.
@@ -500,25 +666,30 @@ func (sv *Server) handleReview(w http.ResponseWriter, r *http.Request) {
 
 // parseDeltaOps reads the op batch from a DeltaRequest JSON object or,
 // with Content-Type application/x-ndjson, a stream of DeltaOp lines.
-func parseDeltaOps(r *http.Request) ([]DeltaOp, error) {
+// The idempotency key comes from the request's op_id field or the
+// Idempotency-Key header (the NDJSON shape's only option).
+func parseDeltaOps(r *http.Request) (ops []DeltaOp, opID string, err error) {
+	opID = r.Header.Get("Idempotency-Key")
 	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/x-ndjson") {
-		var ops []DeltaOp
 		dec := json.NewDecoder(r.Body)
 		for {
 			var op DeltaOp
 			if err := dec.Decode(&op); err == io.EOF {
-				return ops, nil
+				return ops, opID, nil
 			} else if err != nil {
-				return nil, fmt.Errorf("decoding NDJSON op %d: %w", len(ops)+1, err)
+				return nil, "", fmt.Errorf("decoding NDJSON op %d: %w", len(ops)+1, err)
 			}
 			ops = append(ops, op)
 		}
 	}
 	var req DeltaRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		return nil, fmt.Errorf("decoding JSON body: %w", err)
+		return nil, "", fmt.Errorf("decoding JSON body: %w", err)
 	}
-	return req.Ops, nil
+	if req.OpID != "" {
+		opID = req.OpID
+	}
+	return req.Ops, opID, nil
 }
 
 // validateDeltaOps checks the whole batch against a simulated tuple
@@ -554,7 +725,7 @@ func (sv *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 	if t == nil {
 		return
 	}
-	ops, err := parseDeltaOps(r)
+	ops, opID, err := parseDeltaOps(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -578,11 +749,28 @@ func (sv *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	if t.isApplied(opID) {
+		// A retry of an op that is already applied and durable — a
+		// client re-sending after an ambiguous failure. Acknowledge
+		// without re-applying: a second Delete would remove a second
+		// row, and even idempotent upserts would advance the relearn
+		// clock and diverge from the logged history.
+		t.resMu.RLock()
+		sum := t.sum
+		t.resMu.RUnlock()
+		writeJSON(w, http.StatusOK, DeltaResponse{
+			Duplicate: true,
+			Tuples:    sum.tuples,
+			Repairs:   sum.repairs,
+		})
+		return
+	}
 	s := t.session
 	if err := validateDeltaOps(ops, s.NumTuples(), len(s.Attrs())); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	relearned := sv.relearnDue(t)
 	for _, op := range ops {
 		switch op.Op {
 		case "upsert":
@@ -603,6 +791,12 @@ func (sv *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := t.setResult(res); err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	t.markApplied(opID)
+	if err := sv.appendOp(t, store.OpDeltas, &walDeltas{OpID: opID, Ops: ops}, relearned); err != nil {
+		sv.walFail(t, "delta batch", err)
+		writeError(w, http.StatusInternalServerError, "logging delta batch: %v", err)
 		return
 	}
 	t.touch(time.Now())
@@ -640,31 +834,35 @@ func (sv *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-
-	fb := make([]holoclean.Feedback, 0, len(req.Items))
-	attrs := t.session.Attrs()
-	for i, item := range req.Items {
-		attr := -1
-		for a, name := range attrs {
-			if name == item.Attr {
-				attr = a
-				break
-			}
-		}
-		if attr < 0 {
-			writeError(w, http.StatusBadRequest, "item %d: unknown attribute %q", i, item.Attr)
-			return
-		}
-		fb = append(fb, holoclean.Feedback{
-			Cell:  holoclean.Cell{Tuple: item.Tuple, Attr: attr},
-			Value: item.Value,
-		})
+	opID := req.OpID
+	if opID == "" {
+		opID = r.Header.Get("Idempotency-Key")
 	}
+	if t.isApplied(opID) {
+		t.resMu.RLock()
+		sum := t.sum
+		t.resMu.RUnlock()
+		writeJSON(w, http.StatusOK, FeedbackResponse{
+			Duplicate: true,
+			Confirmed: sum.confirmed,
+			Repairs:   sum.repairs,
+		})
+		return
+	}
+
+	fb, err := t.feedbackBatch(req.Items)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	relearned := sv.relearnDue(t)
 	res, err := t.session.Feedback(fb)
 	if err != nil {
 		// Validation failures (out of range, empty value, duplicate
 		// confirmation) reject the batch without touching the session;
 		// anything else is a pipeline failure, not a client error.
+		// Either way nothing reached the WAL: only validated, applied
+		// batches are logged, so recovery replay cannot fail validation.
 		if errors.Is(err, holoclean.ErrInvalidFeedback) {
 			writeError(w, http.StatusBadRequest, "%v", err)
 		} else {
@@ -674,6 +872,12 @@ func (sv *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := t.setResult(res); err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	t.markApplied(opID)
+	if err := sv.appendOp(t, store.OpFeedback, &walFeedback{OpID: opID, Items: req.Items}, relearned); err != nil {
+		sv.walFail(t, "feedback batch", err)
+		writeError(w, http.StatusInternalServerError, "logging feedback batch: %v", err)
 		return
 	}
 	t.touch(time.Now())

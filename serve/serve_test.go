@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -120,7 +121,10 @@ func (tc *testClient) mustJSON(method, path string, reqBody, out any) {
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *testClient) {
 	t.Helper()
-	sv := New(cfg)
+	sv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(sv)
 	t.Cleanup(func() { ts.Close(); sv.Close() })
 	return sv, &testClient{t: t, base: ts.URL, c: ts.Client()}
@@ -379,22 +383,36 @@ func replaySerial(t *testing.T, sc writerScript, opts holoclean.Options) *holocl
 // TestServeConcurrentClients is the concurrency acceptance test: eight
 // clients — four writers driving distinct sessions through deltas,
 // review and feedback, interleaved with four readers hammering the read
-// endpoints — run against one server under the race detector. The final
-// repairs and repaired datasets of every session must be byte-identical
-// to the same operations applied serially through the library.
+// endpoints — run against a durable (StoreDir) server under the race
+// detector. Mid-script, at a barrier after the feedback round, two
+// tenants are evicted and restored, and then the entire server is
+// hard-crashed (no shutdown hook) and a fresh server recovers every
+// session from the store — replaying the sessions whose logs carry
+// un-checkpointed tails; the script's second half runs against the
+// recovered server while the background compaction policy sweeps
+// concurrently with the recleans and reads. The final repairs and
+// repaired datasets of every session must be byte-identical to the same
+// operations applied serially through the library.
 func TestServeConcurrentClients(t *testing.T) {
 	const nSessions = 4
+	storeDir := t.TempDir()
 	cfg := Config{
 		Workers:           1,
 		MaxConcurrentJobs: 2,
 		QueueDepth:        64,
+		StoreDir:          storeDir,
+		CheckpointEvery:   3, // batch1+feedback leave a 2-op tail → crash recovery replays it
+		CompactAfterBytes: 1, // any debt compacts
+		CompactEvery:      time.Hour,
 		Options: func() *holoclean.Options {
 			o := holoclean.DefaultOptions()
 			o.RelearnEvery = 2 // the feedback round retrains mid-script
 			return &o
 		}(),
 	}
-	_, tc := newTestServer(t, cfg)
+	sv1, tc1 := newTestServer(t, cfg)
+	var cur atomic.Pointer[testClient]
+	cur.Store(tc1)
 
 	var idsMu sync.Mutex
 	ids := make([]string, nSessions)
@@ -407,7 +425,10 @@ func TestServeConcurrentClients(t *testing.T) {
 	finalCSV := make([][]byte, nSessions)
 	var writers, readers sync.WaitGroup
 	writersDone := make(chan struct{})
-	errc := make(chan error, nSessions)
+	errc := make(chan error, nSessions*2)
+	var phase1 sync.WaitGroup // writers reaching the mid-script barrier
+	phase1.Add(nSessions)
+	phase2 := make(chan struct{}) // closed once the crashed server is recovered
 
 	// Writers: create a session, then run the deterministic script.
 	for i := 0; i < nSessions; i++ {
@@ -415,11 +436,17 @@ func TestServeConcurrentClients(t *testing.T) {
 		go func(i int) {
 			defer writers.Done()
 			sc := script(i)
+			barrierDown := false
+			defer func() {
+				if !barrierDown {
+					phase1.Done() // never strand the coordinator on an early error
+				}
+			}()
 			// step runs one JSON exchange off the test goroutine: any
 			// transport error or unexpected status goes to errc, never
 			// to t.Fatal (unsupported outside the test goroutine).
 			step := func(label, method, path string, reqBody, out any) bool {
-				status, raw, err := tc.jsonErr(method, path, reqBody, out)
+				status, raw, err := cur.Load().jsonErr(method, path, reqBody, out)
 				if err != nil {
 					errc <- fmt.Errorf("%s: %s: %w", sc.prefix, label, err)
 					return false
@@ -459,16 +486,22 @@ func TestServeConcurrentClients(t *testing.T) {
 			}}, &fres) {
 				return
 			}
+			// Mid-script barrier: the coordinator evicts two tenants,
+			// crashes the server, and recovers a fresh one from the
+			// store; the second half of the script runs against it.
+			barrierDown = true
+			phase1.Done()
+			<-phase2
 			if !step("batch2", "POST", "/sessions/"+info.ID+"/deltas", DeltaRequest{Ops: sc.batch2}, &dres) {
 				return
 			}
-			repairs, err := tc.allRepairsErr(info.ID)
+			repairs, err := cur.Load().allRepairsErr(info.ID)
 			if err != nil {
 				errc <- fmt.Errorf("%s: final repairs: %w", sc.prefix, err)
 				return
 			}
 			finalRepairs[i] = repairs
-			_, csv, err := tc.doErr("GET", "/sessions/"+info.ID+"/dataset", "", nil)
+			_, csv, err := cur.Load().doErr("GET", "/sessions/"+info.ID+"/dataset", "", nil)
 			if err != nil {
 				errc <- fmt.Errorf("%s: final dataset: %w", sc.prefix, err)
 				return
@@ -479,7 +512,9 @@ func TestServeConcurrentClients(t *testing.T) {
 
 	// Readers: hammer the read path (list, status, review, repairs,
 	// health) until every writer is done. Read-only traffic must never
-	// block behind running recleans or corrupt anything.
+	// block behind running recleans or corrupt anything. Across the
+	// mid-script crash window requests simply fail and are retried
+	// against whichever server cur points at.
 	for i := 0; i < nSessions; i++ {
 		readers.Add(1)
 		go func(i int) {
@@ -493,6 +528,7 @@ func TestServeConcurrentClients(t *testing.T) {
 				// Goroutine-safe requests; reader traffic exists to race
 				// the read path, so transport errors are not fatal here
 				// (writers assert the outcomes that matter).
+				tc := cur.Load()
 				tc.doErr("GET", "/sessions", "", nil)
 				tc.doErr("GET", "/healthz", "", nil)
 				if id := readID(i); id != "" {
@@ -508,9 +544,79 @@ func TestServeConcurrentClients(t *testing.T) {
 		}(i)
 	}
 
+	// Coordinator: once every writer is parked at the barrier, evict two
+	// tenants and verify their restore serves identical repairs, then
+	// hard-crash the whole server and bring up a replacement over the
+	// same store.
+	phase1.Wait()
+	for _, i := range []int{0, 1} {
+		id := readID(i)
+		if id == "" {
+			continue // that writer already failed; its error is in errc
+		}
+		pre, err := tc1.allRepairsErr(id)
+		if err != nil {
+			t.Fatalf("pre-evict repairs of %s: %v", id, err)
+		}
+		tn := sv1.lookup(id)
+		tn.mu.Lock()
+		// Readers may have raced a restore in already; only evict live
+		// sessions (an already-evicted one is the same end state).
+		if tn.session != nil {
+			if err := sv1.evictLocked(tn); err != nil {
+				tn.mu.Unlock()
+				t.Fatalf("evicting %s: %v", id, err)
+			}
+		}
+		tn.mu.Unlock()
+		post, err := tc1.allRepairsErr(id) // transparently restores
+		if err != nil {
+			t.Fatalf("post-evict repairs of %s: %v", id, err)
+		}
+		if len(pre) != len(post) {
+			t.Fatalf("%s: restore served %d repairs, want %d", id, len(post), len(pre))
+		}
+		for j := range pre {
+			if pre[j] != post[j] {
+				t.Fatalf("%s: restore differs at repair %d", id, j)
+			}
+		}
+	}
+	// Hard crash: no shutdown hook, no checkpointing — exactly the state
+	// the group-committed log guarantees.
+	sv1.Close()
+	sv2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("recovering server: %v", err)
+	}
+	ts2 := httptest.NewServer(sv2)
+	t.Cleanup(func() { ts2.Close(); sv2.Close() })
+	cur.Store(&testClient{t: t, base: ts2.URL, c: ts2.Client()})
+	close(phase2)
+
+	// While the second half runs, sweep the compaction policy
+	// concurrently: tenants' logs are checkpointed and compacted while
+	// they serve reads and run recleans. (The acceptance criterion for
+	// live-safe compaction; record-level safety is pinned in
+	// internal/store's race test.)
+	compactDone := make(chan struct{})
+	go func() {
+		defer close(compactDone)
+		for {
+			select {
+			case <-writersDone:
+				return
+			default:
+				sv2.compactSweep()
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
 	writers.Wait()
 	close(writersDone)
 	readers.Wait()
+	<-compactDone
 	close(errc)
 	for err := range errc {
 		t.Error(err)

@@ -1,0 +1,518 @@
+package serve
+
+// Durable session store wiring: every mutating endpoint appends its
+// logical operation to the tenant's write-ahead log and waits for the
+// group commit before acknowledging, so an acknowledged op can always be
+// replayed after a crash. The record payloads below are the schema of
+// those log entries; the pipeline's end-to-end determinism (same ops →
+// same repairs, bit for bit) is what makes a logical log a sufficient
+// durability primitive.
+//
+// Ordering. Operations are validated, applied, appended, then acked:
+//
+//	validate → apply (reclean) → WAL append + fsync → ack
+//
+// The in-memory session is the only mutable state and the log the only
+// durable state, so applying before appending loses nothing: a crash
+// between apply and append discards an op that was never acknowledged
+// (the client retries it), and appending only validated, successfully
+// applied ops means recovery replay can never fail validation. The
+// durability contract — no acknowledged operation is ever lost — holds
+// because the ack strictly follows the fsync.
+//
+// Exactly-once replay. A client whose request died ambiguously (acked
+// or not?) retries it with the same op_id. Applied op ids are tracked
+// per tenant, survive crashes (they ride in the op records and the
+// checkpoint envelope), and a duplicate is acknowledged without being
+// re-applied — without this, a retried delete would remove a second
+// row and a retried batch would advance the relearn clock twice.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"holoclean"
+	"holoclean/internal/store"
+)
+
+// walCreate is the OpCreate payload: the full session-creation request,
+// so a log is replayable from genesis even before its first checkpoint.
+type walCreate struct {
+	Name         string    `json:"name,omitempty"`
+	CSV          string    `json:"csv"`
+	Constraints  string    `json:"constraints"`
+	SourceColumn string    `json:"source_column,omitempty"`
+	Overrides    overrides `json:"overrides"`
+}
+
+// walDeltas is the OpDeltas payload: one atomic, validated delta batch.
+type walDeltas struct {
+	OpID string    `json:"op_id,omitempty"`
+	Ops  []DeltaOp `json:"ops"`
+}
+
+// walFeedback is the OpFeedback payload: one confirmation batch, with
+// attributes by name (schema-stable across replays).
+type walFeedback struct {
+	OpID  string         `json:"op_id,omitempty"`
+	Items []FeedbackItem `json:"items"`
+}
+
+// walRelearn is the OpRelearn marker payload — informational only,
+// replay re-derives relearning from the reclean counter.
+type walRelearn struct {
+	Round int `json:"round"`
+}
+
+// walCheckpoint is the OpCheckpoint payload: the same eviction envelope
+// the snapshot path uses, plus the applied-op-id window (so duplicate
+// detection survives compaction) and the wall-clock stamp operators see
+// as last_checkpoint_at.
+type walCheckpoint struct {
+	At         time.Time       `json:"at"`
+	AppliedOps []string        `json:"applied_ops,omitempty"`
+	Envelope   *serverSnapshot `json:"envelope"`
+}
+
+// maxAppliedOps bounds the per-tenant duplicate-detection window. Ids
+// are retired FIFO: a retry must arrive within this many subsequent
+// operations to be recognized — far beyond any real retry horizon.
+const maxAppliedOps = 1024
+
+// markApplied records an op id in the tenant's duplicate window. Call
+// with t.mu held.
+func (t *tenant) markApplied(opID string) {
+	if opID == "" {
+		return
+	}
+	if t.applied == nil {
+		t.applied = make(map[string]bool)
+	}
+	if t.applied[opID] {
+		return
+	}
+	t.applied[opID] = true
+	t.appliedOrder = append(t.appliedOrder, opID)
+	if len(t.appliedOrder) > maxAppliedOps {
+		delete(t.applied, t.appliedOrder[0])
+		t.appliedOrder = t.appliedOrder[1:]
+	}
+}
+
+// isApplied reports whether an op id was already applied. Call with
+// t.mu held.
+func (t *tenant) isApplied(opID string) bool {
+	return opID != "" && t.applied[opID]
+}
+
+// storeStats renders the operator gauges for listings; nil without a
+// store.
+func (t *tenant) storeStats() *SessionStoreInfo {
+	if t.log == nil {
+		return nil
+	}
+	st := t.log.Stats()
+	out := &SessionStoreInfo{
+		WALBytes:           st.WALBytes,
+		OpsSinceCheckpoint: st.OpsSinceCheckpoint,
+	}
+	if !st.LastCheckpointAt.IsZero() {
+		out.LastCheckpointAt = &st.LastCheckpointAt
+	}
+	return out
+}
+
+// buildEnvelope serializes t's live session into the eviction/checkpoint
+// envelope. Call with t.mu held and the session quiescent (no pending
+// mutations).
+func (sv *Server) buildEnvelope(t *tenant) (*serverSnapshot, error) {
+	if t.session == nil {
+		return nil, fmt.Errorf("serve: session %s is not live", t.id)
+	}
+	if n := t.session.PendingMutations(); n > 0 {
+		return nil, fmt.Errorf("session has %d tuples with staged mutations", n)
+	}
+	var sessBuf bytes.Buffer
+	if err := t.session.Snapshot(&sessBuf); err != nil {
+		return nil, err
+	}
+	t.resMu.RLock()
+	sum := t.sum
+	t.resMu.RUnlock()
+	return &serverSnapshot{
+		Name:      t.name,
+		Overrides: t.ov,
+		Tuples:    sum.tuples,
+		Attrs:     sum.attrs,
+		Repairs:   sum.repairs,
+		Recleans:  sum.recleans,
+		Confirmed: sum.confirmed,
+		Session:   json.RawMessage(bytes.TrimSpace(sessBuf.Bytes())),
+	}, nil
+}
+
+// checkpointLocked appends a checkpoint record for t's live session.
+// Call with t.mu held and the session quiescent.
+func (sv *Server) checkpointLocked(t *tenant) error {
+	env, err := sv.buildEnvelope(t)
+	if err != nil {
+		return err
+	}
+	return t.log.Append(store.OpCheckpoint, &walCheckpoint{
+		At:         time.Now().UTC(),
+		AppliedOps: append([]string(nil), t.appliedOrder...),
+		Envelope:   env,
+	})
+}
+
+// maybeCheckpoint appends a checkpoint when the tail has outgrown the
+// ops budget. Called on the mutating path with t.mu held, right after a
+// successful reclean — the one moment the session is guaranteed
+// quiescent and the snapshot costs only serialization, no pipeline
+// work. Failure is logged, not fatal: the ops are already durable
+// individually, a checkpoint only shortens recovery.
+func (sv *Server) maybeCheckpoint(t *tenant) {
+	if t.log == nil || t.session == nil || t.session.PendingMutations() > 0 {
+		return
+	}
+	if t.log.Stats().OpsSinceCheckpoint < sv.cfg.CheckpointEvery {
+		return
+	}
+	if err := sv.checkpointLocked(t); err != nil {
+		sv.logf("serve: checkpointing %s: %v", t.id, err)
+	}
+}
+
+// relearnDue reports whether the next reclean round of t will retrain
+// weights — appended as an OpRelearn marker so operators reading a log
+// can see the relearn cadence without simulating the counter.
+func (sv *Server) relearnDue(t *tenant) bool {
+	every := sv.optionsFor(t.ov).RelearnEvery
+	return every > 0 && t.session != nil && (t.session.Recleans()+1)%every == 0
+}
+
+// appendOp logs one applied operation and waits for the group commit;
+// the caller acks only on nil. An optional relearn marker follows the
+// op record when that round retrained.
+func (sv *Server) appendOp(t *tenant, op store.Op, payload any, relearned bool) error {
+	if t.log == nil {
+		return nil
+	}
+	if err := t.log.Append(op, payload); err != nil {
+		return err
+	}
+	if relearned {
+		if err := t.log.Append(store.OpRelearn, &walRelearn{Round: t.session.Recleans()}); err != nil {
+			sv.logf("serve: relearn marker of %s: %v", t.id, err) // informational record; never fail the op
+		}
+	}
+	sv.maybeCheckpoint(t)
+	return nil
+}
+
+// --- recovery ---
+
+// loadStore opens the store directory, recovers every tenant log —
+// latest checkpoint plus tail replay — and registers the sessions.
+// Tenants whose log ends exactly at a checkpoint register evicted (the
+// checkpoint is the snapshot; first touch restores it), tenants with
+// tail operations are replayed to their exact pre-crash state now, and
+// tombstoned logs complete their deletion.
+func (sv *Server) loadStore() {
+	ids, err := sv.store.IDs()
+	if err != nil {
+		sv.logf("serve: scanning store: %v", err)
+		return
+	}
+	maxSeq := int64(0)
+	for _, id := range ids {
+		t, err := sv.recoverTenant(id)
+		if err != nil {
+			sv.logf("serve: recovering %s: %v", id, err)
+			continue
+		}
+		if t == nil {
+			continue // tombstoned (or empty) log, deleted
+		}
+		t.touch(time.Now())
+		sv.register(t)
+		var seq int64
+		if n, _ := fmt.Sscanf(id, "s%d", &seq); n == 1 && seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+	for {
+		cur := sv.idSeq.Load()
+		if cur >= maxSeq || sv.idSeq.CompareAndSwap(cur, maxSeq) {
+			break
+		}
+	}
+}
+
+// recoverTenant rebuilds one tenant from its log. Returns (nil, nil)
+// when the log is a completed removal or empty.
+func (sv *Server) recoverTenant(id string) (*tenant, error) {
+	l, err := sv.store.Log(id)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := l.Recover()
+	if err != nil {
+		return nil, err
+	}
+	if rec.Removed {
+		// Crash between tombstone and unlink: finish the removal.
+		if err := sv.store.Remove(id); err != nil {
+			return nil, err
+		}
+		sv.logf("serve: completed interrupted removal of %s", id)
+		return nil, nil
+	}
+	if rec.Truncated {
+		sv.logf("serve: truncated torn tail of %s", id)
+	}
+	if rec.Checkpoint == nil && len(rec.Tail) == 0 {
+		sv.store.Remove(id)
+		return nil, nil
+	}
+	t := &tenant{id: id, created: time.Now(), log: l}
+	if len(rec.Tail) == 0 {
+		// Clean checkpoint at the end: stay evicted, like a snapshot —
+		// the envelope header keeps the listing truthful without paying
+		// a restore.
+		var ck walCheckpoint
+		if err := json.Unmarshal(rec.Checkpoint, &ck); err != nil || ck.Envelope == nil {
+			return nil, fmt.Errorf("decoding checkpoint of %s: %v", id, err)
+		}
+		sv.primeFromEnvelope(t, ck)
+		sv.logf("serve: recovered session %s from checkpoint (evicted)", id)
+		return t, nil
+	}
+	if err := sv.replayTenant(t, rec); err != nil {
+		return nil, err
+	}
+	// Converge the log: the replayed tail becomes a fresh checkpoint and
+	// the pre-crash garbage is compacted away, so repeated crash loops
+	// cannot grow recovery time.
+	if err := sv.checkpointLocked(t); err != nil {
+		sv.logf("serve: post-recovery checkpoint of %s: %v", id, err)
+	} else if _, err := t.log.Compact(); err != nil {
+		sv.logf("serve: post-recovery compaction of %s: %v", id, err)
+	}
+	sv.logf("serve: recovered session %s (replayed %d tail ops)", id, len(rec.Tail))
+	return t, nil
+}
+
+// primeFromEnvelope fills a tenant's metadata, summary, and duplicate
+// window from a checkpoint without restoring the session. name and sum
+// are published under resMu because info()/list() read them without
+// t.mu (ov and the duplicate window are t.mu-guarded, held by callers
+// on the restore path and private to the boot scan).
+func (sv *Server) primeFromEnvelope(t *tenant, ck walCheckpoint) {
+	env := ck.Envelope
+	t.ov = env.Overrides
+	t.resMu.Lock()
+	t.name = env.Name
+	t.sum = tenantSummary{
+		tuples:    env.Tuples,
+		attrs:     env.Attrs,
+		repairs:   env.Repairs,
+		recleans:  env.Recleans,
+		confirmed: env.Confirmed,
+	}
+	t.resMu.Unlock()
+	for _, opID := range ck.AppliedOps {
+		t.markApplied(opID)
+	}
+}
+
+// replayTenant restores t from rec's checkpoint (or genesis create
+// record) and re-applies the tail operations through the exact code
+// paths the live handlers use; determinism makes the result
+// bit-identical to the pre-crash state. On success t holds a live
+// session with its last result published.
+func (sv *Server) replayTenant(t *tenant, rec *store.Recovery) error {
+	tail := rec.Tail
+	var res *holoclean.Result
+	if rec.Checkpoint != nil {
+		var ck walCheckpoint
+		if err := json.Unmarshal(rec.Checkpoint, &ck); err != nil || ck.Envelope == nil {
+			return fmt.Errorf("decoding checkpoint of %s: %v", t.id, err)
+		}
+		sv.primeFromEnvelope(t, ck)
+		s, r, err := holoclean.RestoreSession(bytes.NewReader(ck.Envelope.Session), sv.optionsFor(t.ov))
+		if err != nil {
+			return fmt.Errorf("restoring checkpoint of %s: %w", t.id, err)
+		}
+		t.session, res = s, r
+	} else {
+		// Genesis replay: the first record must be the create request.
+		if tail[0].Op != store.OpCreate {
+			return fmt.Errorf("log of %s starts with %s, want create or checkpoint", t.id, tail[0].Op)
+		}
+		var cr walCreate
+		if err := json.Unmarshal(tail[0].Payload, &cr); err != nil {
+			return fmt.Errorf("decoding create record of %s: %w", t.id, err)
+		}
+		ds, err := holoclean.ReadCSV(strings.NewReader(cr.CSV), cr.SourceColumn)
+		if err != nil {
+			return fmt.Errorf("replaying create of %s: %w", t.id, err)
+		}
+		constraints, err := holoclean.ParseConstraints(strings.NewReader(cr.Constraints))
+		if err != nil {
+			return fmt.Errorf("replaying create of %s: %w", t.id, err)
+		}
+		t.ov = cr.Overrides
+		t.resMu.Lock()
+		t.name = cr.Name
+		t.resMu.Unlock()
+		s, err := holoclean.NewSession(ds, constraints, sv.optionsFor(cr.Overrides))
+		if err != nil {
+			return fmt.Errorf("replaying create of %s: %w", t.id, err)
+		}
+		if res, err = s.Clean(); err != nil {
+			return fmt.Errorf("replaying initial clean of %s: %w", t.id, err)
+		}
+		t.session = s
+		tail = tail[1:]
+	}
+	for _, r := range tail {
+		switch r.Op {
+		case store.OpDeltas:
+			var p walDeltas
+			if err := json.Unmarshal(r.Payload, &p); err != nil {
+				return fmt.Errorf("decoding deltas record %d of %s: %w", r.Seq, t.id, err)
+			}
+			for _, op := range p.Ops {
+				var err error
+				switch op.Op {
+				case "upsert":
+					_, err = t.session.Upsert(op.Row, op.Values)
+				case "delete":
+					err = t.session.Delete(op.Row)
+				default:
+					err = fmt.Errorf("unknown op %q", op.Op)
+				}
+				if err != nil {
+					return fmt.Errorf("replaying deltas record %d of %s: %w", r.Seq, t.id, err)
+				}
+			}
+			var err error
+			if res, err = t.session.Reclean(); err != nil {
+				return fmt.Errorf("replaying reclean of record %d of %s: %w", r.Seq, t.id, err)
+			}
+			t.markApplied(p.OpID)
+		case store.OpFeedback:
+			var p walFeedback
+			if err := json.Unmarshal(r.Payload, &p); err != nil {
+				return fmt.Errorf("decoding feedback record %d of %s: %w", r.Seq, t.id, err)
+			}
+			fb, err := t.feedbackBatch(p.Items)
+			if err != nil {
+				return fmt.Errorf("replaying feedback record %d of %s: %w", r.Seq, t.id, err)
+			}
+			if res, err = t.session.Feedback(fb); err != nil {
+				return fmt.Errorf("replaying feedback record %d of %s: %w", r.Seq, t.id, err)
+			}
+			t.markApplied(p.OpID)
+		case store.OpOptions:
+			// Reserved (no mutating-options endpoint yet): adopt the
+			// recorded overrides so future logs replay faithfully.
+			var ov overrides
+			if err := json.Unmarshal(r.Payload, &ov); err != nil {
+				return fmt.Errorf("decoding options record %d of %s: %w", r.Seq, t.id, err)
+			}
+			t.ov = ov
+		case store.OpCreate:
+			return fmt.Errorf("unexpected mid-log create record %d of %s", r.Seq, t.id)
+		}
+	}
+	if res == nil {
+		return fmt.Errorf("recovered session %s has no result", t.id)
+	}
+	return t.setResult(res)
+}
+
+// feedbackBatch maps wire feedback items (attributes by name) to
+// library feedback against t's live session schema.
+func (t *tenant) feedbackBatch(items []FeedbackItem) ([]holoclean.Feedback, error) {
+	attrs := t.session.Attrs()
+	fb := make([]holoclean.Feedback, 0, len(items))
+	for i, item := range items {
+		attr := -1
+		for a, name := range attrs {
+			if name == item.Attr {
+				attr = a
+				break
+			}
+		}
+		if attr < 0 {
+			return nil, fmt.Errorf("item %d: unknown attribute %q", i, item.Attr)
+		}
+		fb = append(fb, holoclean.Feedback{
+			Cell:  holoclean.Cell{Tuple: item.Tuple, Attr: attr},
+			Value: item.Value,
+		})
+	}
+	return fb, nil
+}
+
+// --- background compactor ---
+
+// compactor periodically sweeps every tenant log: logs whose tail
+// outgrew the ops budget get a fresh checkpoint (TryLock only — a
+// tenant mid-reclean is skipped, never blocked, and caught next sweep),
+// and logs whose dead prefix exceeds the size threshold are compacted.
+// Compaction itself takes only the log's own lock for the duration of
+// a small tail copy: read traffic and other tenants' jobs never wait.
+func (sv *Server) compactor(stop <-chan struct{}) {
+	period := sv.cfg.CompactEvery
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			sv.compactSweep()
+		}
+	}
+}
+
+// compactSweep runs one pass of the compactor policy over all tenants.
+func (sv *Server) compactSweep() {
+	sv.mu.Lock()
+	tenants := make([]*tenant, 0, len(sv.sessions))
+	for _, t := range sv.sessions {
+		tenants = append(tenants, t)
+	}
+	sv.mu.Unlock()
+	for _, t := range tenants {
+		if t.log == nil {
+			continue
+		}
+		if t.log.Stats().OpsSinceCheckpoint >= sv.cfg.CheckpointEvery {
+			// The inline checkpoint on the mutating path normally keeps
+			// the tail short; this catches tenants that went idle right
+			// after a burst. TryLock: never wait behind a running job.
+			if t.mu.TryLock() {
+				if t.session != nil && sv.lookup(t.id) == t {
+					if err := sv.checkpointLocked(t); err != nil {
+						sv.logf("serve: compactor checkpoint of %s: %v", t.id, err)
+					}
+				}
+				t.mu.Unlock()
+			}
+		}
+		if t.log.CompactionDebt() >= sv.cfg.CompactAfterBytes {
+			if n, err := t.log.Compact(); err != nil {
+				sv.logf("serve: compacting %s: %v", t.id, err)
+			} else if n > 0 {
+				sv.logf("serve: compacted log of %s (%d bytes reclaimed)", t.id, n)
+			}
+		}
+	}
+}
