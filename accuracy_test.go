@@ -1,0 +1,176 @@
+package holoclean_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"holoclean"
+	"holoclean/internal/datagen"
+	"holoclean/internal/harness"
+	"holoclean/internal/metrics"
+)
+
+// accuracyFloorScale fixes the floor suite's generator scale; together
+// with the seed it makes each run's P/R/F1 exactly reproducible, so the
+// floors below gate real regressions, not sampling noise.
+const accuracyFloorScale = 400
+
+// accuracyFloors pins the minimum acceptable F1 per dataset, set ~0.10
+// under the values measured at (accuracyFloorScale, Seed 1) — hospital
+// 0.927, flights 0.724, food 0.673 at the time of pinning — so a code
+// change that silently degrades repair quality fails the suite while
+// benign drift (a re-tuned default, a sampler tweak that keeps quality)
+// does not. If a deliberate change moves the measured numbers, re-pin
+// the floors in the same commit and say why in CHANGES.md.
+var accuracyFloors = map[string]float64{
+	"hospital": 0.80,
+	"flights":  0.62,
+	"food":     0.57,
+}
+
+func floorGenerators() []*datagen.Generated {
+	cfg := datagen.Config{Tuples: accuracyFloorScale, Seed: 1}
+	return []*datagen.Generated{
+		datagen.Hospital(cfg),
+		datagen.Flights(cfg),
+		datagen.Food(cfg),
+	}
+}
+
+// TestAccuracyFloors is the quality gate of the paper's headline result:
+// HoloClean's F1 against ground truth on hospital/flights/food must not
+// drop below the pinned floors (Table 3's role in §6).
+func TestAccuracyFloors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("accuracy floors run the full pipeline per dataset")
+	}
+	for _, g := range floorGenerators() {
+		g := g
+		t.Run(g.Name, func(t *testing.T) {
+			r := harness.RunHoloClean(g, harness.HoloCleanOptions(g.Name))
+			if r.Err != nil {
+				t.Fatalf("clean failed: %v", r.Err)
+			}
+			t.Logf("%s: %s", g.Name, r.Eval)
+			floor := accuracyFloors[g.Name]
+			if r.Eval.F1 < floor {
+				t.Errorf("%s F1 %.3f below pinned floor %.3f — repair quality regressed",
+					g.Name, r.Eval.F1, floor)
+			}
+			if r.Eval.Errors == 0 || r.Eval.Repairs == 0 {
+				t.Errorf("%s: degenerate evaluation (%d errors, %d repairs) — the floor is vacuous",
+					g.Name, r.Eval.Errors, r.Eval.Repairs)
+			}
+		})
+	}
+}
+
+// truthMirroredMutation applies one session mutation and mirrors it on
+// the truth clone so ground truth stays aligned cell-for-cell: an upsert
+// writes a truth-derived row with one corrupted attribute (the dirty
+// cell has a defined correct value), an append adds a duplicate of an
+// existing truth row (FD-safe) with one corruption, and a delete
+// swap-removes the same index from both sides.
+func truthMirroredMutation(t *testing.T, s *holoclean.Session, truth *holoclean.Dataset, rng *rand.Rand) {
+	t.Helper()
+	n := s.NumTuples()
+	attrs := truth.NumAttrs()
+	truthRow := func(tup int) []string {
+		row := make([]string, attrs)
+		for a := range row {
+			row[a] = truth.GetString(tup, a)
+		}
+		return row
+	}
+	switch op := rng.Intn(4); op {
+	case 0, 1: // in-place upsert with one corrupted attribute
+		tup := rng.Intn(n)
+		row := truthRow(tup)
+		a := rng.Intn(attrs)
+		row[a] = truth.GetString(rng.Intn(n), a) + "~x"
+		if _, err := s.Upsert(tup, row); err != nil {
+			t.Fatal(err)
+		}
+	case 2: // append a corrupted duplicate of an existing truth row
+		src := rng.Intn(n)
+		clean := truthRow(src)
+		dirty := append([]string(nil), clean...)
+		a := rng.Intn(attrs)
+		dirty[a] = dirty[a] + "~x"
+		if _, err := s.Upsert(-1, dirty); err != nil {
+			t.Fatal(err)
+		}
+		truth.Append(clean)
+	default: // swap-delete, mirrored
+		if n <= 1 {
+			return
+		}
+		tup := rng.Intn(n)
+		if err := s.Delete(tup); err != nil {
+			t.Fatal(err)
+		}
+		truth.DeleteSwap(tup)
+	}
+}
+
+// TestRecleanQualityMatchesFullClean is the quality-preservation
+// property test of the incremental path: after rounds of upserts,
+// appends, and deletes, Session.Reclean must score the *identical*
+// precision/recall/F1 (same repair counts, same correct counts, same
+// error counts) as a from-scratch Clean of the mutated dataset run with
+// the session's weights. The byte-identity suites pin the repaired
+// bytes; this pins the paper's quality metrics through the same lens the
+// accuracy harness uses, so a scoring-level divergence (e.g. a truth
+// misalignment after swap-deletes) cannot hide behind them.
+func TestRecleanQualityMatchesFullClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test runs the pipeline repeatedly")
+	}
+	g := datagen.Hospital(datagen.Config{Tuples: 300, Seed: 3})
+	truth := g.Truth.Clone()
+	opts := harness.HoloCleanOptions("hospital")
+	opts.Workers = 1
+	s, err := holoclean.NewSession(g.Dirty, g.Constraints, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Clean(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 3; round++ {
+		muts := 3 + rng.Intn(3)
+		for k := 0; k < muts; k++ {
+			truthMirroredMutation(t, s, truth, rng)
+		}
+		recleanRes, err := s.Reclean()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutated := s.Dataset()
+		recleanEval, err := metrics.Evaluate(mutated, recleanRes.Repaired, truth)
+		if err != nil {
+			t.Fatalf("round %d: reclean eval: %v", round, err)
+		}
+
+		fullOpts := opts
+		fullOpts.InitialWeights = s.Weights()
+		fullRes, err := holoclean.New(fullOpts).Clean(mutated, g.Constraints)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fullEval, err := metrics.Evaluate(mutated, fullRes.Repaired, truth)
+		if err != nil {
+			t.Fatalf("round %d: full eval: %v", round, err)
+		}
+
+		if recleanEval != fullEval {
+			t.Fatalf("round %d: quality diverged:\nreclean %s\nfull    %s",
+				round, recleanEval, fullEval)
+		}
+		if round == 0 && recleanEval.Errors == 0 {
+			t.Fatalf("round %d: no errors present — the property is vacuous", round)
+		}
+		t.Logf("round %d: %s (identical for reclean and full clean)", round, recleanEval)
+	}
+}

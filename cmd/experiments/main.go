@@ -1,10 +1,16 @@
 // Command experiments regenerates every table and figure of the paper's
 // evaluation (Section 6) on the synthetic dataset substrate:
 //
-//	experiments -exp table2|table3|table4|figure3|figure4|figure5|figure6|external|ablation|all
+//	experiments -exp table2|table3|table4|figure3|figure4|figure5|figure6|external|ablation|accuracy|all
 //
 // Dataset sizes are configurable; defaults are laptop-scale (see
 // DESIGN.md substitution 5 and EXPERIMENTS.md for paper-vs-measured).
+//
+// The accuracy experiment runs the full quality suite (Table 3 methods
+// plus the detector and featurizer ablations) and can additionally emit
+// the CI regression artifact and the README paper-vs-measured table:
+//
+//	experiments -exp accuracy -json bench-artifacts/BENCH_accuracy.json -md README.accuracy.md
 package main
 
 import (
@@ -19,7 +25,9 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run: table2, table3, table4, figure3, figure4, figure5, figure6, external, ablation, all")
+		exp        = flag.String("exp", "all", "experiment to run: table2, table3, table4, figure3, figure4, figure5, figure6, external, ablation, accuracy, all")
+		jsonOut    = flag.String("json", "", "with -exp accuracy: write the machine-readable report (the CI artifact) to this path")
+		mdOut      = flag.String("md", "", "with -exp accuracy: write the README paper-vs-measured markdown table to this path (\"-\" for stdout)")
 		hospital   = flag.Int("hospital", 1000, "Hospital tuples")
 		flights    = flag.Int("flights", 2377, "Flights tuples")
 		food       = flag.Int("food", 3000, "Food tuples")
@@ -94,5 +102,37 @@ func main() {
 		fmt.Fprintln(w)
 		harness.PrintPartitioning(w, harness.AblationPartitioning(g))
 		fmt.Fprintln(w)
+	}
+	if run("accuracy") {
+		fmt.Fprintln(w, "=== Accuracy suite: Table 3 methods + detector/featurizer ablations ===")
+		rep := harness.Accuracy(cfg)
+		harness.PrintAccuracy(w, rep)
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err == nil {
+				err = harness.WriteAccuracyJSON(f, rep)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "experiments: wrote %s (%d cells)\n", *jsonOut, len(rep.Cells))
+		}
+		if *mdOut != "" {
+			out := w
+			if *mdOut != "-" {
+				f, err := os.Create(*mdOut)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				defer f.Close()
+				out = f
+			}
+			harness.WriteAccuracyMarkdown(out, rep)
+		}
 	}
 }

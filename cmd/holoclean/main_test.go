@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"holoclean"
+)
+
+// exampleData resolves the committed hospital example files the README
+// quickstart points at.
+func exampleData(t *testing.T, name string) string {
+	t.Helper()
+	p := filepath.Join("..", "..", "examples", "data", name)
+	if _, err := os.Stat(p); err != nil {
+		t.Fatalf("example data missing: %v", err)
+	}
+	return p
+}
+
+// TestRunEvaluate drives the CLI end-to-end on the committed hospital
+// example: clean the dirty CSV under its constraints and score the run
+// against the ground-truth file via -evaluate. The stderr eval line is
+// the user-facing face of the accuracy harness, so it must carry real
+// numbers (a parseable F1, non-zero error count), and stdout must stay
+// a loadable CSV of the repaired relation.
+func TestRunEvaluate(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-data", exampleData(t, "hospital_dirty.csv"),
+		"-dc", exampleData(t, "hospital_dcs.txt"),
+		"-evaluate", exampleData(t, "hospital_clean.csv"),
+		"-workers", "1",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run failed: %v\nstderr: %s", err, stderr.String())
+	}
+
+	out := stderr.String()
+	if !strings.Contains(out, "eval vs") || !strings.Contains(out, "F1") {
+		t.Errorf("missing eval line on stderr:\n%s", out)
+	}
+	if strings.Contains(out, "NaN") {
+		t.Errorf("eval line carries NaN:\n%s", out)
+	}
+	var evalLine string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "eval vs") {
+			evalLine = line
+		}
+	}
+	if !strings.Contains(evalLine, "errors") || strings.Contains(evalLine, "0 errors") {
+		t.Errorf("eval is vacuous (no injected errors scored): %s", evalLine)
+	}
+
+	repaired, err := holoclean.ReadCSV(strings.NewReader(stdout.String()), "")
+	if err != nil {
+		t.Fatalf("stdout is not a loadable CSV: %v", err)
+	}
+	truth, err := holoclean.LoadCSV(exampleData(t, "hospital_clean.csv"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repaired.NumTuples() != truth.NumTuples() || repaired.NumAttrs() != truth.NumAttrs() {
+		t.Errorf("repaired relation is %dx%d, truth %dx%d",
+			repaired.NumTuples(), repaired.NumAttrs(), truth.NumTuples(), truth.NumAttrs())
+	}
+}
+
+// TestRunEvaluateSchemaMismatch pins the failure mode: a truth file
+// whose schema does not match the data must surface a clear error, not
+// a bogus score.
+func TestRunEvaluateSchemaMismatch(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad_truth.csv")
+	if err := os.WriteFile(bad, []byte("A,B\n1,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-data", exampleData(t, "hospital_dirty.csv"),
+		"-dc", exampleData(t, "hospital_dcs.txt"),
+		"-evaluate", bad,
+		"-workers", "1",
+	}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "evaluating against") {
+		t.Fatalf("want schema-mismatch evaluation error, got %v", err)
+	}
+}
+
+// TestRunMissingFlags keeps the usage contract: no -data or constraints
+// source is an error, not a panic or silent exit.
+func TestRunMissingFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(nil, &stdout, &stderr); err == nil {
+		t.Fatal("want usage error for empty args")
+	}
+	if !strings.Contains(stderr.String(), "-data") {
+		t.Errorf("usage not printed:\n%s", stderr.String())
+	}
+}

@@ -37,7 +37,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		e := metrics.Evaluate(g.Dirty, res.Repaired, g.Truth)
+		e := metrics.MustEvaluate(g.Dirty, res.Repaired, g.Truth)
 		fmt.Printf("%-28s Prec %.3f  Rec %.3f  F1 %.3f  (%d repairs, %v)\n",
 			label, e.Precision, e.Recall, e.F1, len(res.Repairs), res.Stats.TotalTime.Round(1e6))
 	}

@@ -43,7 +43,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("%s: %v", v.Name(), err)
 		}
-		e := metrics.Evaluate(g.Dirty, res.Repaired, g.Truth)
+		e := metrics.MustEvaluate(g.Dirty, res.Repaired, g.Truth)
 		fmt.Printf("%-40s %10.3f %10.3f %8.3f %10v\n",
 			v.Name(), e.Precision, e.Recall, e.F1, res.Stats.TotalTime.Round(1e6))
 	}
@@ -57,7 +57,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	e := metrics.Evaluate(g.Dirty, res.Repaired, g.Truth)
+	e := metrics.MustEvaluate(g.Dirty, res.Repaired, g.Truth)
 	fmt.Printf("%-40s %10.3f %10.3f %8.3f %10v\n",
 		"DC Feats + external dictionary", e.Precision, e.Recall, e.F1, res.Stats.TotalTime.Round(1e6))
 }

@@ -35,7 +35,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		e := metrics.Evaluate(g.Dirty, res.Repaired, g.Truth)
+		e := metrics.MustEvaluate(g.Dirty, res.Repaired, g.Truth)
 		fmt.Printf("%6.1f %10.3f %10.3f %8.3f %12d %10v\n",
 			tau, e.Precision, e.Recall, e.F1, res.Stats.Variables, res.Stats.TotalTime.Round(1e6))
 	}
@@ -56,8 +56,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	eBase := metrics.Evaluate(g.Dirty, resBase.Repaired, g.Truth)
-	eDict := metrics.Evaluate(g.Dirty, resDict.Repaired, g.Truth)
+	eBase := metrics.MustEvaluate(g.Dirty, resBase.Repaired, g.Truth)
+	eDict := metrics.MustEvaluate(g.Dirty, resDict.Repaired, g.Truth)
 	fmt.Printf("\nExternal dictionary (Section 6.3.2): F1 %.3f -> %.3f (gain %+.3f)\n",
 		eBase.F1, eDict.F1, eDict.F1-eBase.F1)
 }

@@ -37,7 +37,7 @@ func TestCleanFigure1(t *testing.T) {
 	if v := got(2, "Zip"); v != "60608" {
 		t.Errorf("t3.Zip = %q, want 60608", v)
 	}
-	eval := metrics.Evaluate(g.Dirty, res.Repaired, g.Truth)
+	eval := metrics.MustEvaluate(g.Dirty, res.Repaired, g.Truth)
 	t.Logf("eval: %s", eval)
 }
 
@@ -50,7 +50,7 @@ func TestCleanHospital(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eval := metrics.Evaluate(g.Dirty, res.Repaired, g.Truth)
+	eval := metrics.MustEvaluate(g.Dirty, res.Repaired, g.Truth)
 	t.Logf("hospital eval: %s  stats: %+v", eval, res.Stats)
 	if eval.Precision < 0.80 {
 		t.Errorf("precision %.3f too low, want >= 0.80", eval.Precision)

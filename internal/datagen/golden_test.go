@@ -1,0 +1,82 @@
+package datagen
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden datagen CSVs under testdata/")
+
+// goldenGenerators is the pinned configuration of the golden suite:
+// small enough to keep the files reviewable, large enough to exercise
+// every error mechanism (duplicates, systematic corruption, typos).
+func goldenGenerators() []*Generated {
+	cfg := Config{Tuples: 60, Seed: 1}
+	return []*Generated{Hospital(cfg), Flights(cfg), Food(cfg)}
+}
+
+// TestGoldenDatasets pins the generators byte-for-byte: the same
+// (Tuples, Seed) must reproduce exactly the CSVs committed under
+// testdata/. The Equal-based determinism tests catch in-process drift;
+// the golden files additionally catch cross-commit drift — a generator
+// change silently moving every accuracy number. Regenerate deliberately
+// with `go test ./internal/datagen -run TestGoldenDatasets -update`
+// and re-pin the accuracy floors in the same commit if they moved.
+func TestGoldenDatasets(t *testing.T) {
+	for _, g := range goldenGenerators() {
+		t.Run(g.Name, func(t *testing.T) {
+			var dirty, truth bytes.Buffer
+			if err := g.Dirty.WriteCSV(&dirty); err != nil {
+				t.Fatal(err)
+			}
+			if err := g.Truth.WriteCSV(&truth); err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, g.Name+"_dirty.csv", dirty.Bytes())
+			checkGolden(t, g.Name+"_truth.csv", truth.Bytes())
+		})
+	}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (run with -update to create): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from the golden file (%d bytes generated, %d pinned): %s",
+			name, len(got), len(want), firstDiff(got, want))
+	}
+}
+
+// firstDiff locates the first divergent line for a readable failure.
+func firstDiff(got, want []byte) string {
+	gl := bytes.Split(got, []byte("\n"))
+	wl := bytes.Split(want, []byte("\n"))
+	n := len(gl)
+	if len(wl) < n {
+		n = len(wl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(gl[i], wl[i]) {
+			return fmt.Sprintf("first difference at line %d: generated %q, golden %q", i+1, gl[i], wl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: generated %d, golden %d", len(gl), len(wl))
+}

@@ -1,0 +1,325 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"holoclean"
+	"holoclean/internal/datagen"
+)
+
+// AccuracyCell is one evaluated configuration: a (dataset, method) cell
+// of Table 3, or one toggle of the detector/featurizer ablations. Cells
+// are the unit the CI regression gate (scripts/accuracy_compare.sh)
+// diffs, so the identifying fields (Group, Dataset, Method) must stay
+// stable across runs.
+type AccuracyCell struct {
+	Group   string `json:"group"`   // "methods", "detectors", or "featurizers"
+	Dataset string `json:"dataset"` // hospital, flights, food, physicians
+	Method  string `json:"method"`  // method or toggle name
+
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+
+	Repairs        int `json:"repairs"`
+	CorrectRepairs int `json:"correct_repairs"`
+	Errors         int `json:"errors"`
+
+	RuntimeMS float64 `json:"runtime_ms"`
+	TimedOut  bool    `json:"timed_out,omitempty"`
+	NA        bool    `json:"na,omitempty"`
+	Err       string  `json:"err,omitempty"`
+}
+
+// AccuracyReport is the machine-readable output of the accuracy suite —
+// the payload of the CI artifact bench-artifacts/BENCH_accuracy.json.
+type AccuracyReport struct {
+	Suite  string         `json:"suite"` // always "accuracy"
+	Seed   int64          `json:"seed"`
+	Tuples map[string]int `json:"tuples"`
+	Cells  []AccuracyCell `json:"cells"`
+	// OK marks a run that completed the whole suite; the CI job greps for
+	// it the way the perf artifacts are checked for their pass marker.
+	OK bool `json:"ok"`
+}
+
+// cellFromResult converts a MethodResult.
+func cellFromResult(group, dataset string, r MethodResult) AccuracyCell {
+	c := AccuracyCell{
+		Group:     group,
+		Dataset:   dataset,
+		Method:    r.Method,
+		RuntimeMS: float64(r.Runtime) / float64(time.Millisecond),
+		TimedOut:  r.TimedOut,
+		NA:        r.NA,
+	}
+	if r.Err != nil {
+		c.Err = r.Err.Error()
+		return c
+	}
+	if !r.TimedOut && !r.NA {
+		c.Precision = r.Eval.Precision
+		c.Recall = r.Eval.Recall
+		c.F1 = r.Eval.F1
+		c.Repairs = r.Eval.Repairs
+		c.CorrectRepairs = r.Eval.CorrectRepairs
+		c.Errors = r.Eval.Errors
+	}
+	return c
+}
+
+// DetectorConfigs enumerates the error-detection stacks of the ablation,
+// mirroring the exemplar runs that toggle detect_errors([NullDetector(),
+// ViolationDetector()]) lists: the violation detector alone (the base
+// configuration every dataset supports), violations plus the
+// categorical-outlier detector, violations plus the dictionary
+// disagreement detector (datasets with an external dictionary), and the
+// full stack.
+var DetectorConfigs = []string{"violations", "violations+outliers", "violations+dict", "all"}
+
+// detectorOptions builds the Options for one detector stack, or ok=false
+// when the dataset cannot support it (no dictionary).
+func detectorOptions(g *datagen.Generated, name string) (holoclean.Options, bool) {
+	opts := HoloCleanOptions(g.Name)
+	switch name {
+	case "violations":
+		return opts, true
+	case "violations+outliers":
+		opts.OutlierDetection = true
+		return opts, true
+	case "violations+dict":
+		if len(g.Dictionaries) == 0 {
+			return opts, false
+		}
+		opts.Dictionaries = g.Dictionaries
+		opts.MatchDependencies = g.MatchDeps
+		return opts, true
+	case "all":
+		if len(g.Dictionaries) == 0 {
+			return opts, false
+		}
+		opts.OutlierDetection = true
+		opts.Dictionaries = g.Dictionaries
+		opts.MatchDependencies = g.MatchDeps
+		return opts, true
+	}
+	return opts, false
+}
+
+// AblationDetectors evaluates every detector stack on one dataset.
+// Stacks the dataset cannot support (a dictionary detector without a
+// dictionary) are reported NA, like KATARA on Flights.
+func AblationDetectors(g *datagen.Generated) []AccuracyCell {
+	var out []AccuracyCell
+	for _, name := range DetectorConfigs {
+		opts, ok := detectorOptions(g, name)
+		if !ok {
+			out = append(out, AccuracyCell{Group: "detectors", Dataset: g.Name, Method: name, NA: true})
+			continue
+		}
+		r := RunHoloClean(g, opts)
+		r.Method = name
+		out = append(out, cellFromResult("detectors", g.Name, r))
+	}
+	return out
+}
+
+// FeaturizerConfigs enumerates the featurizer toggles of the ablation,
+// mirroring the exemplar runs that vary the featurizers list
+// ([InitAttrFeaturizer, OccurAttrFeaturizer, FreqFeaturizer,
+// ConstraintFeaturizer]): the full signal set, co-occurrence statistics
+// off (Freq/OccurAttr), the minimality prior off (InitAttr), source
+// features off, and denial-constraint features alone.
+var FeaturizerConfigs = []string{"all", "no-cooccur", "no-minimality", "no-source", "dc-only"}
+
+// featurizerOptions builds the Options for one featurizer toggle.
+func featurizerOptions(g *datagen.Generated, name string) (holoclean.Options, bool) {
+	opts := HoloCleanOptions(g.Name)
+	switch name {
+	case "all":
+		return opts, true
+	case "no-cooccur":
+		opts.DisableCooccurFeatures = true
+		return opts, true
+	case "no-minimality":
+		opts.MinimalityWeight = 0
+		return opts, true
+	case "no-source":
+		if !g.Dirty.HasSources() {
+			return opts, false
+		}
+		opts.DisableSourceFeatures = true
+		return opts, true
+	case "dc-only":
+		opts.DisableCooccurFeatures = true
+		opts.DisableSourceFeatures = true
+		opts.MinimalityWeight = 0
+		return opts, true
+	}
+	return opts, false
+}
+
+// AblationFeaturizers evaluates every featurizer toggle on one dataset.
+// Toggles that are a no-op for the dataset (dropping source features
+// when it has no provenance) are reported NA.
+func AblationFeaturizers(g *datagen.Generated) []AccuracyCell {
+	var out []AccuracyCell
+	for _, name := range FeaturizerConfigs {
+		opts, ok := featurizerOptions(g, name)
+		if !ok {
+			out = append(out, AccuracyCell{Group: "featurizers", Dataset: g.Name, Method: name, NA: true})
+			continue
+		}
+		r := RunHoloClean(g, opts)
+		r.Method = name
+		out = append(out, cellFromResult("featurizers", g.Name, r))
+	}
+	return out
+}
+
+// Accuracy runs the full quality suite: HoloClean and the three
+// baselines on every dataset (the Table 3 cells), then the detector and
+// featurizer ablations. It is the single entry point behind the `go
+// test` accuracy floors, the CI artifact, and cmd/experiments.
+func Accuracy(cfg Config) *AccuracyReport {
+	rep := &AccuracyReport{
+		Suite: "accuracy",
+		Seed:  cfg.Seed,
+		Tuples: map[string]int{
+			"hospital":   cfg.HospitalTuples,
+			"flights":    cfg.FlightsTuples,
+			"food":       cfg.FoodTuples,
+			"physicians": cfg.PhysiciansTuples,
+		},
+	}
+	for _, row := range Table3(cfg) {
+		for _, m := range row.Results {
+			rep.Cells = append(rep.Cells, cellFromResult("methods", row.Dataset, m))
+		}
+	}
+	for _, g := range Datasets(cfg) {
+		rep.Cells = append(rep.Cells, AblationDetectors(g)...)
+		rep.Cells = append(rep.Cells, AblationFeaturizers(g)...)
+	}
+	rep.OK = true
+	return rep
+}
+
+// WriteAccuracyJSON emits the report with one cell per line, so the
+// regression gate can diff it with line-oriented tools and a human can
+// still read the artifact.
+func WriteAccuracyJSON(w io.Writer, rep *AccuracyReport) error {
+	head, err := json.Marshal(struct {
+		Suite  string         `json:"suite"`
+		Seed   int64          `json:"seed"`
+		Tuples map[string]int `json:"tuples"`
+	}{rep.Suite, rep.Seed, rep.Tuples})
+	if err != nil {
+		return err
+	}
+	// Open the envelope by hand: the cells array gets one line per cell.
+	if _, err := fmt.Fprintf(w, "%s,\n", head[:len(head)-1]); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, "\"cells\":[\n"); err != nil {
+		return err
+	}
+	for i, c := range rep.Cells {
+		b, err := json.Marshal(c)
+		if err != nil {
+			return err
+		}
+		sep := ","
+		if i == len(rep.Cells)-1 {
+			sep = ""
+		}
+		if _, err := fmt.Fprintf(w, "%s%s\n", b, sep); err != nil {
+			return err
+		}
+	}
+	_, err = fmt.Fprintf(w, "],\n\"ok\":%v}\n", rep.OK)
+	return err
+}
+
+// PrintAccuracy renders the report for humans: the method comparison
+// first, then the two ablations.
+func PrintAccuracy(w io.Writer, rep *AccuracyReport) {
+	groups := []struct{ key, title string }{
+		{"methods", "Method comparison (Table 3)"},
+		{"detectors", "Detector ablation"},
+		{"featurizers", "Featurizer ablation"},
+	}
+	for _, gr := range groups {
+		fmt.Fprintf(w, "--- %s ---\n", gr.title)
+		fmt.Fprintf(w, "%-12s %-22s %8s %8s %8s %10s\n", "Dataset", "Method", "Prec", "Rec", "F1", "Runtime")
+		for _, c := range rep.Cells {
+			if c.Group != gr.key {
+				continue
+			}
+			switch {
+			case c.NA:
+				fmt.Fprintf(w, "%-12s %-22s %8s %8s %8s %10s\n", c.Dataset, c.Method, "n/a", "n/a", "n/a", "")
+			case c.TimedOut:
+				fmt.Fprintf(w, "%-12s %-22s %8s %8s %8s %10s\n", c.Dataset, c.Method, "DNF", "DNF", "DNF", "")
+			case c.Err != "":
+				fmt.Fprintf(w, "%-12s %-22s err: %s\n", c.Dataset, c.Method, c.Err)
+			default:
+				fmt.Fprintf(w, "%-12s %-22s %8.3f %8.3f %8.3f %9.0fms\n",
+					c.Dataset, c.Method, c.Precision, c.Recall, c.F1, c.RuntimeMS)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PaperEval returns the paper's reported Table 3 HoloClean triple for a
+// dataset, where this reproduction pins one. Only Hospital's row is
+// pinned per-dataset (P=1.0, R=0.713, the number the paper's running
+// commentary cites); the real Flights/Food/Physicians datasets are not
+// redistributable and this repo's generators reproduce their *error
+// mechanisms*, not their values, so per-dataset triples would not be
+// comparable. The paper's cross-dataset aggregate — average precision
+// ≈0.90 and average recall ≈0.77 — is exposed via PaperAverage.
+func PaperEval(dataset string) (precision, recall, f1 float64, ok bool) {
+	if dataset == "hospital" {
+		return 1.0, 0.713, 0.832, true
+	}
+	return 0, 0, 0, false
+}
+
+// PaperAverage returns the cross-dataset average precision and recall
+// the paper reports for HoloClean.
+func PaperAverage() (precision, recall float64) { return 0.90, 0.77 }
+
+// WriteAccuracyMarkdown renders the README "Accuracy" table: the
+// measured HoloClean triple per dataset next to the paper's reference
+// numbers, followed by the baseline comparison.
+func WriteAccuracyMarkdown(w io.Writer, rep *AccuracyReport) {
+	fmt.Fprintln(w, "| Dataset | Paper P | Paper R | Paper F1 | Measured P | Measured R | Measured F1 |")
+	fmt.Fprintln(w, "|---|---|---|---|---|---|---|")
+	var sumP, sumR float64
+	var n int
+	for _, c := range rep.Cells {
+		if c.Group != "methods" || c.Method != "HoloClean" || c.Err != "" {
+			continue
+		}
+		pp, pr, pf, ok := PaperEval(c.Dataset)
+		paper := []string{"—", "—", "—"}
+		if ok {
+			paper = []string{fmt.Sprintf("%.3f", pp), fmt.Sprintf("%.3f", pr), fmt.Sprintf("%.3f", pf)}
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %s | %.3f | %.3f | %.3f |\n",
+			c.Dataset, paper[0], paper[1], paper[2], c.Precision, c.Recall, c.F1)
+		sumP += c.Precision
+		sumR += c.Recall
+		n++
+	}
+	if n > 0 {
+		ap, ar := PaperAverage()
+		fmt.Fprintf(w, "| *average* | *≈%.2f* | *≈%.2f* | | *%.3f* | *%.3f* | |\n",
+			ap, ar, sumP/float64(n), sumR/float64(n))
+	}
+}

@@ -98,9 +98,13 @@ func RunHoloClean(g *datagen.Generated, opts holoclean.Options) MethodResult {
 	if err != nil {
 		return MethodResult{Method: "HoloClean", Err: err}
 	}
+	eval, err := metrics.Evaluate(g.Dirty, res.Repaired, g.Truth)
+	if err != nil {
+		return MethodResult{Method: "HoloClean", Err: err}
+	}
 	return MethodResult{
 		Method:  "HoloClean",
-		Eval:    metrics.Evaluate(g.Dirty, res.Repaired, g.Truth),
+		Eval:    eval,
 		Runtime: time.Since(start),
 	}
 }
@@ -113,9 +117,13 @@ func RunHoloCleanResult(g *datagen.Generated, opts holoclean.Options) (*holoclea
 	if err != nil {
 		return nil, MethodResult{Method: "HoloClean", Err: err}
 	}
+	eval, err := metrics.Evaluate(g.Dirty, res.Repaired, g.Truth)
+	if err != nil {
+		return nil, MethodResult{Method: "HoloClean", Err: err}
+	}
 	return res, MethodResult{
 		Method:  "HoloClean",
-		Eval:    metrics.Evaluate(g.Dirty, res.Repaired, g.Truth),
+		Eval:    eval,
 		Runtime: time.Since(start),
 	}
 }
@@ -137,9 +145,13 @@ func runWithTimeout(name string, budget time.Duration, g *datagen.Generated, fn 
 		if o.err != nil {
 			return MethodResult{Method: name, Err: o.err}
 		}
+		eval, err := metrics.Evaluate(g.Dirty, o.repaired, g.Truth)
+		if err != nil {
+			return MethodResult{Method: name, Err: err}
+		}
 		return MethodResult{
 			Method:  name,
-			Eval:    metrics.Evaluate(g.Dirty, o.repaired, g.Truth),
+			Eval:    eval,
 			Runtime: time.Since(start),
 		}
 	case <-time.After(budget):

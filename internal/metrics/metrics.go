@@ -22,10 +22,24 @@ type Eval struct {
 }
 
 // Evaluate compares a repaired dataset against the dirty input and the
-// ground truth. All three datasets must share the schema; values are
-// compared as strings so the truth dataset may use its own dictionary.
-func Evaluate(dirty, repaired, truth *dataset.Dataset) Eval {
+// ground truth. All three datasets must share the schema (same attribute
+// names in the same order) and the same tuple count; a mismatch returns
+// an error rather than scoring a truncated or misaligned overlap. Values
+// are compared as strings so the truth dataset may use its own
+// dictionary.
+//
+// Degenerate inputs have defined scores, never NaN: with zero repairs
+// precision is 0 (nothing was claimed, nothing was right), with zero
+// errors recall is 0 (there was nothing to find), and F1 is 0 whenever
+// precision+recall is 0.
+func Evaluate(dirty, repaired, truth *dataset.Dataset) (Eval, error) {
 	var e Eval
+	if err := checkAligned(dirty, repaired, "repaired"); err != nil {
+		return e, err
+	}
+	if err := checkAligned(dirty, truth, "truth"); err != nil {
+		return e, err
+	}
 	for t := 0; t < dirty.NumTuples(); t++ {
 		for a := 0; a < dirty.NumAttrs(); a++ {
 			d := dirty.GetString(t, a)
@@ -51,7 +65,38 @@ func Evaluate(dirty, repaired, truth *dataset.Dataset) Eval {
 	if e.Precision+e.Recall > 0 {
 		e.F1 = 2 * e.Precision * e.Recall / (e.Precision + e.Recall)
 	}
+	return e, nil
+}
+
+// MustEvaluate is Evaluate for inputs known to be aligned (e.g. a
+// generator's dirty/truth pair and a Result.Repaired clone of the same
+// dataset); it panics on a schema mismatch.
+func MustEvaluate(dirty, repaired, truth *dataset.Dataset) Eval {
+	e, err := Evaluate(dirty, repaired, truth)
+	if err != nil {
+		panic(err)
+	}
 	return e
+}
+
+// checkAligned verifies other is comparable to base cell-for-cell.
+func checkAligned(base, other *dataset.Dataset, role string) error {
+	if base == nil || other == nil {
+		return fmt.Errorf("metrics: nil dataset (dirty or %s)", role)
+	}
+	if got, want := other.NumTuples(), base.NumTuples(); got != want {
+		return fmt.Errorf("metrics: %s has %d tuples, dirty has %d", role, got, want)
+	}
+	ba, oa := base.Attrs(), other.Attrs()
+	if len(oa) != len(ba) {
+		return fmt.Errorf("metrics: %s has %d attributes, dirty has %d", role, len(oa), len(ba))
+	}
+	for i := range ba {
+		if ba[i] != oa[i] {
+			return fmt.Errorf("metrics: %s attribute %d is %q, dirty has %q", role, i, oa[i], ba[i])
+		}
+	}
+	return nil
 }
 
 // String renders the Table 3 style triple.

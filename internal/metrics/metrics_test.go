@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"holoclean/internal/dataset"
@@ -21,9 +22,18 @@ func triple() (dirty, repaired, truth *dataset.Dataset) {
 	return
 }
 
+func mustEval(t *testing.T, dirty, repaired, truth *dataset.Dataset) Eval {
+	t.Helper()
+	e, err := Evaluate(dirty, repaired, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
 func TestEvaluate(t *testing.T) {
 	dirty, repaired, truth := triple()
-	e := Evaluate(dirty, repaired, truth)
+	e := mustEval(t, dirty, repaired, truth)
 	if e.Errors != 2 {
 		t.Errorf("Errors = %d, want 2", e.Errors)
 	}
@@ -41,28 +51,105 @@ func TestEvaluate(t *testing.T) {
 	}
 }
 
+// TestEvaluateNoRepairs pins the zero-repair edge case: precision must be
+// a defined 0, not NaN (0/0).
 func TestEvaluateNoRepairs(t *testing.T) {
 	dirty, _, truth := triple()
-	e := Evaluate(dirty, dirty.Clone(), truth)
+	e := mustEval(t, dirty, dirty.Clone(), truth)
 	if e.Precision != 0 || e.Recall != 0 || e.F1 != 0 || e.Repairs != 0 {
 		t.Errorf("no-repair eval = %+v", e)
+	}
+	for name, v := range map[string]float64{"precision": e.Precision, "recall": e.Recall, "f1": e.F1} {
+		if math.IsNaN(v) {
+			t.Errorf("%s is NaN on zero repairs", name)
+		}
 	}
 }
 
 func TestEvaluatePerfect(t *testing.T) {
 	dirty, _, truth := triple()
-	e := Evaluate(dirty, truth, truth)
+	e := mustEval(t, dirty, truth, truth)
 	if e.Precision != 1 || e.Recall != 1 || e.F1 != 1 {
 		t.Errorf("perfect repair eval = %+v", e)
 	}
 }
 
+// TestEvaluateCleanInput pins the zero-error edge case: recall over an
+// already-clean dataset must be a defined 0, not NaN.
 func TestEvaluateCleanInput(t *testing.T) {
 	_, _, truth := triple()
-	e := Evaluate(truth, truth.Clone(), truth)
+	e := mustEval(t, truth, truth.Clone(), truth)
 	if e.Errors != 0 || e.Recall != 0 {
 		t.Errorf("clean input eval = %+v", e)
 	}
+	if math.IsNaN(e.Recall) || math.IsNaN(e.F1) {
+		t.Errorf("NaN on zero errors: %+v", e)
+	}
+}
+
+// TestEvaluateCleanInputWithRepairs combines zero errors with nonzero
+// repairs: every repair is wrong, recall has nothing to find, and every
+// score stays a defined number.
+func TestEvaluateCleanInputWithRepairs(t *testing.T) {
+	_, _, truth := triple()
+	broken := truth.Clone()
+	broken.SetString(0, 0, "zz")
+	e := mustEval(t, truth, broken, truth)
+	if e.Repairs != 1 || e.CorrectRepairs != 0 || e.Errors != 0 {
+		t.Fatalf("eval = %+v", e)
+	}
+	if e.Precision != 0 || e.Recall != 0 || e.F1 != 0 {
+		t.Errorf("all-wrong repairs on clean data should score 0/0/0: %+v", e)
+	}
+}
+
+// TestEvaluateSchemaMismatch pins that misaligned inputs error instead of
+// panicking or silently scoring a truncated overlap.
+func TestEvaluateSchemaMismatch(t *testing.T) {
+	dirty, repaired, truth := triple()
+
+	short := dataset.New([]string{"A", "B"})
+	short.Append([]string{"a", "9"})
+	if _, err := Evaluate(dirty, short, truth); err == nil || !strings.Contains(err.Error(), "tuples") {
+		t.Errorf("tuple-count mismatch: err = %v", err)
+	}
+	if _, err := Evaluate(dirty, repaired, short); err == nil {
+		t.Errorf("truth tuple-count mismatch not detected")
+	}
+
+	wide := dataset.New([]string{"A", "B", "C"})
+	for i := 0; i < 3; i++ {
+		wide.Append([]string{"a", "1", "x"})
+	}
+	if _, err := Evaluate(dirty, wide, truth); err == nil || !strings.Contains(err.Error(), "attributes") {
+		t.Errorf("attr-count mismatch: err = %v", err)
+	}
+
+	renamed := dataset.New([]string{"A", "Z"})
+	for i := 0; i < 3; i++ {
+		renamed.Append([]string{"a", "1"})
+	}
+	if _, err := Evaluate(dirty, repaired, renamed); err == nil || !strings.Contains(err.Error(), `"Z"`) {
+		t.Errorf("attr-name mismatch: err = %v", err)
+	}
+
+	if _, err := Evaluate(dirty, nil, truth); err == nil {
+		t.Errorf("nil dataset should error, not panic")
+	}
+}
+
+func TestMustEvaluatePanicsOnMismatch(t *testing.T) {
+	dirty, repaired, truth := triple()
+	if e := MustEvaluate(dirty, repaired, truth); e.Repairs != 2 {
+		t.Errorf("MustEvaluate = %+v", e)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("MustEvaluate should panic on mismatch")
+		}
+	}()
+	short := dataset.New([]string{"A", "B"})
+	MustEvaluate(dirty, short, truth)
 }
 
 func TestCalibration(t *testing.T) {

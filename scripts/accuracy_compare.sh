@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# accuracy_compare.sh OLD.json NEW.json [TOLERANCE]
+#
+# Diffs two accuracy artifacts produced by
+# `experiments -exp accuracy -json bench-artifacts/BENCH_accuracy.json`
+# and fails when any (group, dataset, method) cell present in both lost
+# more than TOLERANCE of F1 (absolute, default 0.05). Precision and
+# recall are reported for context but do not gate — F1 already moves
+# when either does, and double-firing would make the gate noisy.
+#
+# Cells that are n/a, timed out, or errored in either artifact are
+# skipped (they carry no score). Cells that vanish from the new artifact
+# are surfaced loudly: silently narrowing the comparison set would let a
+# regressed configuration escape the gate by being renamed or dropped.
+#
+# Typical use: download the accuracy-results artifact of the main
+# branch, then
+#   ./scripts/accuracy_compare.sh main/BENCH_accuracy.json bench-artifacts/BENCH_accuracy.json
+set -euo pipefail
+
+if [ $# -lt 2 ] || [ $# -gt 3 ]; then
+  echo "usage: $0 OLD.json NEW.json [TOLERANCE]" >&2
+  exit 2
+fi
+old_file=$1
+new_file=$2
+tolerance=${3:-0.05}
+for f in "$old_file" "$new_file"; do
+  [ -s "$f" ] || { echo "FAIL: $f is missing or empty" >&2; exit 2; }
+  grep -q '"suite":"accuracy"' "$f" || { echo "FAIL: $f is not an accuracy artifact" >&2; exit 2; }
+  grep -q '"ok":true' "$f" || { echo "FAIL: $f lacks the ok marker (suite did not complete)" >&2; exit 2; }
+done
+
+# The artifact keeps one cell object per line (WriteAccuracyJSON), so
+# cells can be extracted with line-oriented tools: each row becomes
+# "group/dataset/method f1 precision recall flag", flag marking cells
+# without a score (na / timed_out / err).
+extract() {
+  grep '"group":' "$1" | sed 's/,$//' | awk '
+    function sfield(s, k,   v) {
+      if (match(s, "\"" k "\":\"[^\"]*\"")) {
+        v = substr(s, RSTART, RLENGTH)
+        sub("\"" k "\":\"", "", v); sub("\"$", "", v)
+        return v
+      }
+      return ""
+    }
+    function nfield(s, k,   v) {
+      if (match(s, "\"" k "\":-?[0-9.eE+-]+")) {
+        v = substr(s, RSTART, RLENGTH)
+        sub("\"" k "\":", "", v)
+        return v + 0
+      }
+      return 0
+    }
+    {
+      id = sfield($0, "group") "/" sfield($0, "dataset") "/" sfield($0, "method")
+      flag = "ok"
+      if (index($0, "\"na\":true"))        flag = "na"
+      if (index($0, "\"timed_out\":true")) flag = "dnf"
+      if (index($0, "\"err\":"))           flag = "err"
+      print id, nfield($0, "f1"), nfield($0, "precision"), nfield($0, "recall"), flag
+    }'
+}
+
+old_rows=$(extract "$old_file")
+new_rows=$(extract "$new_file")
+[ -n "$old_rows" ] || { echo "FAIL: no accuracy cells found in $old_file" >&2; exit 2; }
+[ -n "$new_rows" ] || { echo "FAIL: no accuracy cells found in $new_file" >&2; exit 2; }
+
+printf '%s\n%s\n' "$old_rows" "$new_rows" | awk -v tol="$tolerance" -v nold="$(printf '%s\n' "$old_rows" | wc -l)" '
+NR <= nold { of1[$1] = $2; op[$1] = $3; or[$1] = $4; oflag[$1] = $5; next }
+{
+  id = $1
+  seen[id] = 1
+  if (!(id in of1)) { printf "SKIP  %-45s only in new artifact\n", id; next }
+  if (oflag[id] != "ok" || $5 != "ok") { printf "SKIP  %-45s unscored (%s -> %s)\n", id, oflag[id], $5; next }
+  compared++
+  df1 = $2 - of1[id]
+  printf "%-45s F1 %6.3f -> %6.3f  (%+.3f)   P %.3f -> %.3f  R %.3f -> %.3f\n", \
+    id, of1[id], $2, df1, op[id], $3, or[id], $4
+  if (df1 < -tol) { printf "FAIL  %-45s F1 dropped %.3f (tolerance %.3f)\n", id, -df1, tol; bad = 1 }
+}
+END {
+  for (id in of1)
+    if (!(id in seen)) printf "WARN  %-45s present in old artifact but missing from new — gate does not cover it\n", id
+  if (compared == 0) { print "FAIL: no scored cell appears in both artifacts"; exit 2 }
+  if (bad) { print "FAIL: F1 regression beyond " tol; exit 1 }
+  print "PASS: " compared " cell(s) within F1 tolerance " tol
+}'

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"holoclean"
+	"holoclean/internal/datagen"
+	"holoclean/internal/harness"
+	"holoclean/internal/metrics"
+)
+
+// TestServeReplayQualityMatchesFullClean is the serving-layer half of
+// the quality-preservation property: after rounds of delta batches the
+// HTTP session's repaired relation must score the *identical*
+// precision/recall/F1 against ground truth as (a) a local Session fed
+// the same ops and (b) a from-scratch Clean of the mutated relation run
+// with the session's weights. The serve determinism suite pins the
+// replayed bytes; this pins the paper's quality metrics through the
+// same scorer the accuracy harness uses, so the HTTP path cannot quietly
+// trade repair quality for latency.
+func TestServeReplayQualityMatchesFullClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test runs the pipeline over HTTP repeatedly")
+	}
+	g := datagen.Hospital(datagen.Config{Tuples: 200, Seed: 5})
+	truth := g.Truth.Clone()
+
+	opts := harness.HoloCleanOptions(g.Name)
+	opts.Workers = 1
+	base := opts
+	_, tc := newTestServer(t, Config{Workers: 1, Options: &base})
+
+	var csvBuf strings.Builder
+	if err := g.Dirty.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	var dcBuf strings.Builder
+	for _, c := range g.Constraints {
+		if c.Name != "" {
+			fmt.Fprintf(&dcBuf, "%s: %s\n", c.Name, c)
+		} else {
+			fmt.Fprintf(&dcBuf, "%s\n", c)
+		}
+	}
+	var info SessionInfo
+	tc.mustJSON("POST", "/sessions", CreateRequest{
+		Name: g.Name, CSV: csvBuf.String(), Constraints: dcBuf.String(),
+	}, &info)
+
+	// The local twin replays the exact same ops under the exact same
+	// options; it also supplies the learned weights for the from-scratch
+	// reference clean.
+	local, err := holoclean.NewSession(g.Dirty.Clone(), g.Constraints, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := local.Clean(); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(17))
+	attrs := truth.NumAttrs()
+	truthRow := func(tup int) []string {
+		row := make([]string, attrs)
+		for a := range row {
+			row[a] = truth.GetString(tup, a)
+		}
+		return row
+	}
+
+	for round := 0; round < 2; round++ {
+		// Build one truth-mirrored delta batch, applying each op to the
+		// local twin as it is generated so tuple indices stay aligned.
+		var ops []DeltaOp
+		for k, muts := 0, 2+rng.Intn(3); k < muts; k++ {
+			n := local.NumTuples()
+			switch rng.Intn(4) {
+			case 0, 1: // in-place upsert with one corrupted attribute
+				tup := rng.Intn(n)
+				row := truthRow(tup)
+				a := rng.Intn(attrs)
+				row[a] = truth.GetString(rng.Intn(n), a) + "~x"
+				if _, err := local.Upsert(tup, row); err != nil {
+					t.Fatal(err)
+				}
+				ops = append(ops, DeltaOp{Op: "upsert", Row: tup, Values: row})
+			case 2: // append a corrupted duplicate of an existing truth row
+				src := rng.Intn(n)
+				clean := truthRow(src)
+				dirty := append([]string(nil), clean...)
+				a := rng.Intn(attrs)
+				dirty[a] += "~x"
+				if _, err := local.Upsert(-1, dirty); err != nil {
+					t.Fatal(err)
+				}
+				truth.Append(clean)
+				ops = append(ops, DeltaOp{Op: "upsert", Row: -1, Values: dirty})
+			default: // swap-delete, mirrored on the truth side
+				if n <= 1 {
+					continue
+				}
+				tup := rng.Intn(n)
+				if err := local.Delete(tup); err != nil {
+					t.Fatal(err)
+				}
+				truth.DeleteSwap(tup)
+				ops = append(ops, DeltaOp{Op: "delete", Row: tup})
+			}
+		}
+		if len(ops) == 0 {
+			continue
+		}
+
+		var dr DeltaResponse
+		tc.mustJSON("POST", "/sessions/"+info.ID+"/deltas", DeltaRequest{Ops: ops}, &dr)
+		if dr.Applied != len(ops) {
+			t.Fatalf("round %d: server applied %d of %d ops", round, dr.Applied, len(ops))
+		}
+		localRes, err := local.Reclean()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutated := local.Dataset()
+		if dr.Tuples != mutated.NumTuples() {
+			t.Fatalf("round %d: server has %d tuples, local twin %d", round, dr.Tuples, mutated.NumTuples())
+		}
+
+		status, body := tc.do("GET", "/sessions/"+info.ID+"/dataset", "", nil)
+		if status != 200 {
+			t.Fatalf("round %d: GET dataset: status %d: %s", round, status, body)
+		}
+		served, err := holoclean.ReadCSV(strings.NewReader(string(body)), "")
+		if err != nil {
+			t.Fatalf("round %d: parsing served CSV: %v", round, err)
+		}
+
+		servedEval, err := metrics.Evaluate(mutated, served, truth)
+		if err != nil {
+			t.Fatalf("round %d: served eval: %v", round, err)
+		}
+		localEval, err := metrics.Evaluate(mutated, localRes.Repaired, truth)
+		if err != nil {
+			t.Fatalf("round %d: local eval: %v", round, err)
+		}
+
+		fullOpts := opts
+		fullOpts.InitialWeights = local.Weights()
+		fullRes, err := holoclean.New(fullOpts).Clean(mutated, g.Constraints)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fullEval, err := metrics.Evaluate(mutated, fullRes.Repaired, truth)
+		if err != nil {
+			t.Fatalf("round %d: full eval: %v", round, err)
+		}
+
+		if servedEval != localEval {
+			t.Fatalf("round %d: serve replay diverged from local session:\nserved %s\nlocal  %s",
+				round, servedEval, localEval)
+		}
+		if servedEval != fullEval {
+			t.Fatalf("round %d: serve replay diverged from full clean:\nserved %s\nfull   %s",
+				round, servedEval, fullEval)
+		}
+		if round == 0 && servedEval.Errors == 0 {
+			t.Fatalf("round %d: no errors present — the property is vacuous", round)
+		}
+		t.Logf("round %d: %s (identical for serve, local session, full clean)", round, servedEval)
+	}
+}
