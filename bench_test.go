@@ -257,6 +257,42 @@ func BenchmarkIncrementalReclean(b *testing.B) {
 	})
 }
 
+// BenchmarkCleanGiantComponent measures intra-component parallelism on
+// the skewed workload whose hot region grounds as one giant conflict
+// component: component-level sharding serializes on it, so the chromatic
+// sweep's worker pool is the only parallelism available. Weights are
+// learned once outside the timed loop and injected, so the measurement
+// is dominated by grounding + Gibbs inference over the giant component.
+// The workers=4/workers=1 wall-clock ratio is the chromatic speedup;
+// deterministic mode keeps all configurations byte-identical (pinned by
+// TestCleanIntraWorkersEquivalent).
+func BenchmarkCleanGiantComponent(b *testing.B) {
+	g := datagen.Skew(datagen.SkewConfig{Tuples: 3000, Seed: 1, HotFrac: 0.9})
+	base := holoclean.DefaultOptions()
+	base.Variant = holoclean.VariantDCFactors
+	warm, err := holoclean.New(base).Clean(g.Dirty, g.Constraints)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base.InitialWeights = warm.LearnedWeights
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := base
+			opts.Workers = workers
+			opts.IntraWorkers = workers
+			var frac float64
+			for i := 0; i < b.N; i++ {
+				res, err := holoclean.New(opts).Clean(g.Dirty, g.Constraints)
+				if err != nil {
+					b.Fatal(err)
+				}
+				frac = res.Stats.LargestComponentFrac
+			}
+			b.ReportMetric(frac, "largest-frac")
+		})
+	}
+}
+
 // BenchmarkCleanSharded measures the end-to-end sharded pipeline at
 // Workers=1 (sequential shards) versus Workers=GOMAXPROCS (pooled), on
 // the hospital workload whose violations split into many independent

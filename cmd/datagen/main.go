@@ -18,12 +18,22 @@ import (
 
 func main() {
 	var (
-		name   = flag.String("dataset", "hospital", "hospital | flights | food | physicians | figure1")
-		tuples = flag.Int("tuples", 0, "dataset size (0 = generator default)")
-		seed   = flag.Int64("seed", 1, "generator seed")
-		out    = flag.String("out", "", "output file prefix (default: dataset name)")
+		name    = flag.String("dataset", "hospital", "hospital | flights | food | physicians | figure1 | skew")
+		tuples  = flag.Int("tuples", 0, "dataset size (0 = generator default)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		out     = flag.String("out", "", "output file prefix (default: dataset name)")
+		hotFrac = flag.Float64("hot-frac", 0, "skew only: fraction of tuples in the hot (giant-component) region (0 = 0.2)")
+		stream  = flag.Bool("stream", false, "skew only: stream CSVs straight to disk without materializing (use for 10^6-row scale-ups)")
 	)
 	flag.Parse()
+
+	if *stream && *name != "skew" {
+		log.Fatal("-stream is only supported for -dataset skew")
+	}
+	if *name == "skew" {
+		runSkew(datagen.SkewConfig{Tuples: *tuples, Seed: *seed, HotFrac: *hotFrac}, *out, *stream)
+		return
+	}
 
 	cfg := datagen.Config{Tuples: *tuples, Seed: *seed}
 	var g *datagen.Generated
@@ -86,4 +96,47 @@ func main() {
 
 	fmt.Printf("%s: %d tuples, %d attrs, %d injected errors, %d constraints → %s_*.csv\n",
 		g.Name, g.Dirty.NumTuples(), g.Dirty.NumAttrs(), g.InjectedErrors, len(g.Constraints), prefix)
+}
+
+// runSkew handles the skewed scale-up workload, whose generator supports
+// streaming output for sizes where materializing two datasets in memory
+// is unwelcome. Streamed and materialized output are byte-identical.
+func runSkew(cfg datagen.SkewConfig, prefix string, stream bool) {
+	if prefix == "" {
+		prefix = "skew"
+	}
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	writeConstraints := func(n int) {
+		f, err := os.Create(prefix + "_constraints.txt")
+		must(err)
+		g := datagen.Skew(datagen.SkewConfig{Tuples: 1, Seed: cfg.Seed})
+		for _, c := range g.Constraints {
+			fmt.Fprintf(f, "%s: %s\n", c.Name, c.String())
+		}
+		must(f.Close())
+		fmt.Printf("skew: %d tuples → %s_*.csv\n", n, prefix)
+	}
+	if stream {
+		df, err := os.Create(prefix + "_dirty.csv")
+		must(err)
+		tf, err := os.Create(prefix + "_truth.csv")
+		must(err)
+		must(datagen.StreamSkew(cfg, df, tf))
+		must(df.Close())
+		must(tf.Close())
+		n := cfg.Tuples
+		if n <= 0 {
+			n = 5000
+		}
+		writeConstraints(n)
+		return
+	}
+	g := datagen.Skew(cfg)
+	must(g.Dirty.WriteCSVFile(prefix + "_dirty.csv"))
+	must(g.Truth.WriteCSVFile(prefix + "_truth.csv"))
+	writeConstraints(g.Dirty.NumTuples())
 }

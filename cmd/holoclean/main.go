@@ -62,6 +62,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		variant   = fs.String("variant", "feats", "model variant: feats, factors, factors+part, feats+factors, feats+factors+part")
 		outliers  = fs.Bool("outliers", false, "add outlier-based error detection")
 		workers   = fs.Int("workers", 0, "shard worker pool size (0 = all CPUs); results are identical for any value")
+		intra     = fs.Int("intra-workers", 0, "goroutines sampling within one large correlated shard (0 = 1); results are identical for any value")
+		fastSw    = fs.Bool("fast-sweeps", false, "trade bit-reproducibility for sampler throughput on large correlated shards")
+		maxComp   = fs.Int("max-component-cells", 0, "split conflict components larger than this many cells into damped sub-shards (0 = never split)")
+		showStats = fs.Bool("stats", false, "print the component-size histogram and skew gauge to stderr")
 		deltaPath = fs.String("delta", "", "CSV of tuple changes (op,row,<schema...>) applied after the initial clean; re-repairs incrementally via a Session")
 		relearn   = fs.Int("relearn-every", 0, "with -delta: relearn weights on every Nth reclean (0 = reuse the initial weights)")
 		evalPath  = fs.String("evaluate", "", "ground-truth CSV (data schema, no provenance column); prints precision/recall/F1 to stderr")
@@ -106,6 +110,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	opts.Seed = *seed
 	opts.OutlierDetection = *outliers
 	opts.Workers = *workers
+	opts.IntraWorkers = *intra
+	opts.FastSweeps = *fastSw
+	opts.MaxComponentCells = *maxComp
 	switch *variant {
 	case "feats":
 		opts.Variant = holoclean.VariantDCFeats
@@ -148,6 +155,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		"holoclean: %d noisy cells, %d variables, %d factors, %d shards; %d repairs in %v\n",
 		res.Stats.NoisyCells, res.Stats.Variables, res.Stats.Factors,
 		res.Stats.Shards, len(res.Repairs), res.Stats.TotalTime.Round(1e6))
+	if *showStats {
+		printComponentStats(stderr, res.Stats)
+	}
 	if *verbose {
 		for _, r := range res.Repairs {
 			fmt.Fprintf(stderr, "  row %d %s: %q -> %q (p=%.2f)\n",
@@ -171,6 +181,31 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return res.Repaired.WriteCSV(stdout)
 	}
 	return res.Repaired.WriteCSVFile(*outPath)
+}
+
+// printComponentStats renders the -stats view: the log2 histogram of
+// conflict-component sizes, the skew gauge, and how the plan handled it.
+func printComponentStats(stderr io.Writer, st holoclean.RunStats) {
+	if len(st.ComponentSizeHist) == 0 {
+		fmt.Fprintln(stderr, "holoclean: stats: no conflict components (independent-variable model or no violations)")
+		return
+	}
+	fmt.Fprintln(stderr, "holoclean: stats: component size histogram (tuples per component):")
+	for k, n := range st.ComponentSizeHist {
+		if n == 0 {
+			continue
+		}
+		lo := 1 << k
+		hi := 1<<(k+1) - 1
+		fmt.Fprintf(stderr, "  [%d..%d]: %d\n", lo, hi, n)
+	}
+	fmt.Fprintf(stderr, "holoclean: stats: largest component holds %.1f%% of conflicted tuples", 100*st.LargestComponentFrac)
+	if st.SplitShards > 0 {
+		fmt.Fprintf(stderr, "; split into %d damped sub-shards", st.SplitShards)
+	}
+	fmt.Fprintln(stderr)
+	fmt.Fprintf(stderr, "holoclean: stats: peak heap %d MiB, %d MiB allocated over the run\n",
+		st.PeakHeapBytes>>20, st.AllocBytes>>20)
 }
 
 // runSession cleans through an incremental Session: one full clean, then

@@ -44,6 +44,7 @@ import (
 	"holoclean/internal/extdict"
 	"holoclean/internal/factor"
 	"holoclean/internal/learn"
+	"holoclean/internal/partition"
 	"holoclean/internal/stats"
 	"holoclean/internal/violation"
 )
@@ -215,6 +216,41 @@ type Options struct {
 	// each shard on Workers goroutines. 0 means runtime.GOMAXPROCS(0).
 	// Results are deterministic for a given Seed regardless of Workers.
 	Workers int
+	// IntraWorkers bounds the goroutines sampling WITHIN one correlated
+	// shard. Large conflict components (>= 512 query variables) run a
+	// chromatic Gibbs schedule: the factor graph is greedily colored, and
+	// each color class — mutually non-adjacent variables — is swept by
+	// IntraWorkers goroutines in parallel. Per-variable counter-based RNG
+	// streams make the draw sequence a function of variable identity
+	// alone, so results are bit-identical for every IntraWorkers value.
+	// 0 means 1 (sequential within a shard); total goroutines are
+	// bounded by Workers × IntraWorkers.
+	IntraWorkers int
+	// FastSweeps trades the chromatic sampler's bit-reproducibility for
+	// throughput: per-worker RNG streams and dynamic load balancing
+	// replace the per-variable streams. Statistically equivalent — the
+	// chromatic schedule is unchanged, only which worker draws for which
+	// variable — but NOT reproducible across runs or worker counts. Has
+	// no effect on shards below the chromatic threshold.
+	FastSweeps bool
+	// MaxComponentCells, when positive, splits conflict components whose
+	// cell count exceeds it into tuple-aligned sub-shards, bounding the
+	// largest grounding and sampling unit (and therefore per-shard memory
+	// and the pipeline's critical path) on skewed datasets where one
+	// giant component dominates. Cut correlations are partially restored
+	// by boundary-factor damping (BoundaryDamp). 0 — the default — never
+	// splits: every component is inferred whole and exactly.
+	MaxComponentCells int
+	// BoundaryDamp is the weight coefficient of boundary factors on split
+	// sub-shards: a denial-constraint pair severed by a MaxComponentCells
+	// cut is grounded on each side with the other side folded to its
+	// observed value and the factor's weight scaled by BoundaryDamp — a
+	// cavity-style damped pull toward the neighbor's observation instead
+	// of Algorithm 3's hard cut. Both sub-shards ground their half, so
+	// the default 0.5 restores about one factor's worth of energy per cut
+	// pair. 0 disables damping (pure scope cut). Irrelevant unless
+	// MaxComponentCells splits something.
+	BoundaryDamp float64
 	// Seed drives every stochastic component.
 	Seed int64
 }
@@ -236,6 +272,7 @@ func DefaultOptions() Options {
 		GibbsBurnIn:       10,
 		GibbsSamples:      50,
 		ParallelInference: true,
+		BoundaryDamp:      0.5,
 		Seed:              1,
 	}
 }
@@ -278,6 +315,21 @@ type RunStats struct {
 	// uncorrelated variable and took the closed-form inference fast path.
 	Shards          int
 	SingletonShards int
+	// SplitShards counts the sub-shards cut out of oversized conflict
+	// components by Options.MaxComponentCells (zero when nothing exceeded
+	// the cap or splitting is off).
+	SplitShards int
+	// ComponentSizeHist is a log2 histogram of conflict-component sizes
+	// (in tuples): bucket k counts components with 2^k <= n < 2^(k+1).
+	// Nil when the model grounds no correlation factors or no violations
+	// were observed.
+	ComponentSizeHist []int
+	// LargestComponentFrac is the fraction of conflict-hypergraph tuples
+	// claimed by the largest component — the skew measure that predicts
+	// whether one giant component will serialize the shard pool (the
+	// regime MaxComponentCells and IntraWorkers exist for). Zero when
+	// there are no components.
+	LargestComponentFrac float64
 	// ShardsReused counts the shards of the full plan whose cached
 	// results an incremental Session.Reclean carried forward instead of
 	// re-executing. Always zero for a plain Clean.
@@ -557,7 +609,7 @@ func (cl *Cleaner) clean(ds *Dataset, constraints []*Constraint, inc *incrementa
 	}
 
 	workers := defaultWorkers(o.Workers)
-	plan := planShards(prep, o.Variant.DCFactors)
+	plan := planShards(prep, o.Variant.DCFactors, o.MaxComponentCells)
 	execPlan := plan
 	var reusedCells []int
 	if inc != nil && inc.dirty != nil {
@@ -570,6 +622,16 @@ func (cl *Cleaner) clean(ds *Dataset, constraints []*Constraint, inc *incrementa
 	res.Stats.Shards = len(execPlan)
 	if r := len(plan) - len(execPlan); r > 0 {
 		res.Stats.ShardsReused = r
+	}
+	for _, sh := range execPlan {
+		if sh.split {
+			res.Stats.SplitShards++
+		}
+	}
+	if prep.Hypergraph != nil {
+		comps := partition.Components(prep.Hypergraph)
+		res.Stats.ComponentSizeHist = partition.SizeHistogram(comps)
+		res.Stats.LargestComponentFrac = partition.LargestFrac(comps)
 	}
 
 	// Shared-index construction is part of compilation (it replaces the

@@ -1,0 +1,194 @@
+package datagen
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"holoclean/internal/dataset"
+	"holoclean/internal/dc"
+)
+
+// SkewConfig scales the skewed scale-up workload: a hot region whose
+// tuples all conflict through one giant chain of overlapping violation
+// groups — the adversarial shape for component-sharded inference, where
+// one conflict component swallows a constant fraction of the dataset and
+// serializes the shard pool — plus a cold filler region of clean,
+// independent tuples with a sprinkling of isolated two-tuple conflicts
+// for histogram spread.
+type SkewConfig struct {
+	// Tuples is the dataset size (0 = 5000).
+	Tuples int
+	// Seed drives the deterministic corruption choices (0 = 1).
+	Seed int64
+	// HotFrac is the fraction of tuples in the hot region (0 = 0.2).
+	HotFrac float64
+	// GroupSize bounds the violation-join bucket size g (0 = 8): hot
+	// tuples share a Chain key in windows of g and a Link key in windows
+	// of g offset by g/2, so pairwise violation detection stays O(n·g)
+	// while the overlap chains every window into one component.
+	GroupSize int
+	// ErrorStride corrupts every ErrorStride-th hot tuple's Val (0 = 4).
+	// It must not exceed GroupSize/2, or some windows would hold no error
+	// and the hot region would fall apart into several components.
+	ErrorStride int
+}
+
+func (c SkewConfig) resolve() SkewConfig {
+	if c.Tuples <= 0 {
+		c.Tuples = 5000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.HotFrac <= 0 {
+		c.HotFrac = 0.2
+	}
+	if c.HotFrac > 1 {
+		c.HotFrac = 1
+	}
+	if c.GroupSize <= 1 {
+		c.GroupSize = 8
+	}
+	if c.ErrorStride <= 0 {
+		c.ErrorStride = 4
+	}
+	if max := c.GroupSize / 2; c.ErrorStride > max {
+		c.ErrorStride = max
+	}
+	return c
+}
+
+// skewAttrs is the schema of the skew workload.
+var skewAttrs = []string{"Chain", "Link", "Val"}
+
+// skewConstraints returns the two FDs of the workload. Chain→Val raises
+// violations within each hot window; Link→Val raises them within the
+// half-offset windows, welding adjacent Chain windows together.
+func skewConstraints() []*dc.Constraint {
+	out := dc.FD("skew_chain", []string{"Chain"}, []string{"Val"})
+	out = append(out, dc.FD("skew_link", []string{"Link"}, []string{"Val"})...)
+	return out
+}
+
+// hotVariants are the corrupted spellings of the hot region's clean Val.
+// Typos, not arbitrary strings, so domain pruning sees realistic
+// co-occurrence statistics.
+var hotVariants = [3]string{"HotVxl", "HotVa", "HotVVal"}
+
+// skewHash is a splitmix64-style avalanche of (seed, i): every per-row
+// random choice is a pure function of the row index, which is what lets
+// the streaming and materializing generators share one code path and
+// stay byte-identical at any size.
+func skewHash(seed int64, i int) uint64 {
+	x := uint64(seed)*0x9e3779b97f4a7c15 + uint64(i) + 1
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// skewRow computes row i of the workload: the dirty and ground-truth
+// records, in schema order.
+func skewRow(c SkewConfig, i int, dirty, truth []string) {
+	g := c.GroupSize
+	nHot := int(c.HotFrac * float64(c.Tuples))
+	if i < nHot {
+		h := i
+		chain := fmt.Sprintf("C%d", h/g)
+		link := fmt.Sprintf("L%d", (h+g/2)/g)
+		truth[0], truth[1], truth[2] = chain, link, "HotVal"
+		dirty[0], dirty[1], dirty[2] = chain, link, "HotVal"
+		if h%c.ErrorStride == 0 {
+			dirty[2] = hotVariants[skewHash(c.Seed, h)%3]
+		}
+		return
+	}
+	f := i - nHot
+	nFiller := c.Tuples - nHot
+	// Isolated conflict pairs every 50th filler tuple: (f, f+1) share a
+	// Chain key and f's Val is corrupted — a two-tuple component.
+	if k := f / 50; f%50 < 2 && (f%50 == 1 || f+1 < nFiller) {
+		chain := fmt.Sprintf("PC%d", k)
+		link := fmt.Sprintf("FL%d", f)
+		val := fmt.Sprintf("PV%d", k)
+		truth[0], truth[1], truth[2] = chain, link, val
+		dirty[0], dirty[1], dirty[2] = chain, link, val
+		if f%50 == 0 {
+			dirty[2] = val + "x"
+		}
+		return
+	}
+	// Plain filler: unique keys everywhere, so the tuple joins nothing
+	// and raises no violation — pure clean evidence.
+	truth[0] = fmt.Sprintf("FC%d", f)
+	truth[1] = fmt.Sprintf("FL%d", f)
+	truth[2] = fmt.Sprintf("FV%d", f)
+	copy(dirty, truth)
+}
+
+// Skew materializes the skewed scale-up workload in memory. For sizes
+// where two materialized copies are unwelcome (the 10⁶-row scale-up),
+// use StreamSkew instead — both derive every row from skewRow, so their
+// output is identical.
+func Skew(cfg SkewConfig) *Generated {
+	c := cfg.resolve()
+	out := &Generated{
+		Name:        "skew",
+		Dirty:       dataset.New(skewAttrs),
+		Truth:       dataset.New(skewAttrs),
+		Constraints: skewConstraints(),
+	}
+	dirty, truth := make([]string, 3), make([]string, 3)
+	for i := 0; i < c.Tuples; i++ {
+		skewRow(c, i, dirty, truth)
+		out.Dirty.Append(dirty)
+		out.Truth.Append(truth)
+	}
+	out.countErrors()
+	return out
+}
+
+// StreamSkew writes the workload straight to CSV — byte-identical to
+// Skew(cfg).Dirty.WriteCSV / .Truth.WriteCSV — without materializing a
+// dataset, so generating the 10⁶-row scale-up input costs O(1) memory.
+// truthW may be nil to skip the ground-truth file.
+func StreamSkew(cfg SkewConfig, dirtyW, truthW io.Writer) error {
+	c := cfg.resolve()
+	dw := csv.NewWriter(dirtyW)
+	var tw *csv.Writer
+	if truthW != nil {
+		tw = csv.NewWriter(truthW)
+	}
+	if err := dw.Write(skewAttrs); err != nil {
+		return err
+	}
+	if tw != nil {
+		if err := tw.Write(skewAttrs); err != nil {
+			return err
+		}
+	}
+	dirty, truth := make([]string, 3), make([]string, 3)
+	for i := 0; i < c.Tuples; i++ {
+		skewRow(c, i, dirty, truth)
+		if err := dw.Write(dirty); err != nil {
+			return err
+		}
+		if tw != nil {
+			if err := tw.Write(truth); err != nil {
+				return err
+			}
+		}
+	}
+	dw.Flush()
+	if err := dw.Error(); err != nil {
+		return err
+	}
+	if tw != nil {
+		tw.Flush()
+		return tw.Error()
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package datagen
+
+import (
+	"bytes"
+	"testing"
+
+	"holoclean/internal/partition"
+	"holoclean/internal/violation"
+)
+
+func TestSkewDeterministic(t *testing.T) {
+	cfg := SkewConfig{Tuples: 400, Seed: 7}
+	a, b := Skew(cfg), Skew(cfg)
+	if !a.Dirty.Equal(b.Dirty) || !a.Truth.Equal(b.Truth) {
+		t.Fatal("Skew is not deterministic for a fixed config")
+	}
+	if a.InjectedErrors == 0 {
+		t.Fatal("Skew injected no errors")
+	}
+}
+
+// TestStreamSkewMatchesMaterialized pins the contract that makes the
+// streaming generator trustworthy at 10⁶ rows: its CSV output is
+// byte-identical to materializing the dataset and writing it.
+func TestStreamSkewMatchesMaterialized(t *testing.T) {
+	cfg := SkewConfig{Tuples: 777, Seed: 3, HotFrac: 0.3}
+	g := Skew(cfg)
+	var wantDirty, wantTruth bytes.Buffer
+	if err := g.Dirty.WriteCSV(&wantDirty); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Truth.WriteCSV(&wantTruth); err != nil {
+		t.Fatal(err)
+	}
+	var gotDirty, gotTruth bytes.Buffer
+	if err := StreamSkew(cfg, &gotDirty, &gotTruth); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotDirty.Bytes(), wantDirty.Bytes()) {
+		t.Error("streamed dirty CSV differs from materialized WriteCSV")
+	}
+	if !bytes.Equal(gotTruth.Bytes(), wantTruth.Bytes()) {
+		t.Error("streamed truth CSV differs from materialized WriteCSV")
+	}
+}
+
+// TestSkewGiantComponent verifies the workload's defining property: the
+// hot region forms ONE conflict component holding HotFrac of the
+// dataset's conflicted tuples, while violation join buckets stay bounded
+// by the group size (no quadratic pair blowup).
+func TestSkewGiantComponent(t *testing.T) {
+	cfg := SkewConfig{Tuples: 1000, Seed: 1, HotFrac: 0.4}
+	g := Skew(cfg)
+	det, err := violation.NewDetector(g.Dirty, g.Constraints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viols := det.Detect()
+	if len(viols) == 0 {
+		t.Fatal("skew dataset raised no violations")
+	}
+	// O(n·g) bound: with groups of 8 and two FDs, violations per hot
+	// tuple are a small constant.
+	if max := 40 * cfg.Tuples; len(viols) > max {
+		t.Fatalf("violation count %d exceeds the linear bound %d — join buckets are not group-bounded", len(viols), max)
+	}
+	comps := partition.Components(violation.BuildHypergraph(det, viols))
+	largest := 0
+	for _, c := range comps {
+		if len(c) > largest {
+			largest = len(c)
+		}
+	}
+	nHot := int(cfg.HotFrac * float64(cfg.Tuples))
+	if largest != nHot {
+		t.Fatalf("largest component holds %d tuples, want the whole hot region (%d)", largest, nHot)
+	}
+	if len(comps) < 2 {
+		t.Fatalf("want isolated filler pairs besides the giant component, got %d components", len(comps))
+	}
+	if frac := partition.LargestFrac(comps); frac < 0.5 {
+		t.Fatalf("LargestFrac = %v, want the giant component to dominate", frac)
+	}
+}
+
+// TestGoldenSkew pins the skew generator byte-for-byte like the other
+// generators; regenerate deliberately with -update.
+func TestGoldenSkew(t *testing.T) {
+	g := Skew(SkewConfig{Tuples: 120, Seed: 1, HotFrac: 0.5})
+	var dirty, truth bytes.Buffer
+	if err := g.Dirty.WriteCSV(&dirty); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Truth.WriteCSV(&truth); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "skew_dirty.csv", dirty.Bytes())
+	checkGolden(t, "skew_truth.csv", truth.Bytes())
+}

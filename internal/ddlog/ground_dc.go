@@ -173,6 +173,18 @@ func (gr *grounder) groundDC(rule *Rule) error {
 	b := gr.db.Bounds[ci]
 	wid := gr.g.Weights.ID("dc|"+rule.Name, rule.FixedWeight, true)
 
+	// Boundary damping (split components): pairs the scope would reject
+	// ground anyway, at a damped fixed weight under a distinct tying key.
+	// The out-of-shard side holds no variable in this shard's graph, so
+	// foldFactor's clean-cell path folds it to its observed value — the
+	// cavity assignment.
+	damp := 0.0
+	var dampWid int32
+	if gr.db.Scope != nil && gr.db.Scope.Boundary > 0 {
+		damp = gr.db.Scope.Boundary
+		dampWid = gr.g.Weights.ID("dc~|"+rule.Name, rule.FixedWeight*damp, true)
+	}
+
 	// Attributes each tuple role contributes to the factor; a counterpart
 	// whose query variables all sit on other attributes folds to
 	// constants and stays admissible under any shard scope.
@@ -189,8 +201,12 @@ func (gr *grounder) groundDC(rule *Rule) error {
 
 	emit := func(t1, t2 int) {
 		gr.out.Stats.PairsChecked++
+		w := wid
 		if !gr.db.Scope.admits(t1, roleAttrs[0]) || !gr.db.Scope.admits(t2, roleAttrs[1]) {
-			return
+			if damp <= 0 {
+				return
+			}
+			w = dampWid
 		}
 		if rule.Partition && gr.db.Groups != nil && !gr.sameGroup(ci, t1, t2) {
 			return
@@ -199,7 +215,7 @@ func (gr *grounder) groundDC(rule *Rule) error {
 		if nb == nil {
 			return
 		}
-		gr.g.AddNary(nb.vars, nb.preds, wid)
+		gr.g.AddNary(nb.vars, nb.preds, w)
 		gr.out.Stats.PaperFactors += nb.states
 	}
 

@@ -137,6 +137,18 @@ type Scope struct {
 	// model (across all shards) to the set of attributes those variables
 	// live on.
 	QueryAttrs map[int]map[int]bool
+	// Boundary, when positive, grounds the pairs admits would reject
+	// instead of skipping them: the out-of-shard side's query cells fold
+	// to their observed values (the grounder's clean-cell path) and the
+	// factor's weight is scaled by Boundary. This is the boundary-factor
+	// damping of split components — a cavity-style extension of the
+	// Algorithm 3 scope cut: where the cut drops a cross-shard correlation
+	// entirely, damping keeps it as a weakened pull toward the neighbor's
+	// observed value. Both sub-shards of a split ground their side of each
+	// boundary pair, so a coefficient of 0.5 restores roughly one full
+	// factor's worth of energy per cut pair. Zero (the default) keeps the
+	// exact legacy cut.
+	Boundary float64
 }
 
 // admits reports whether tuple t may fill a constraint role that

@@ -390,6 +390,27 @@ func (g *Graph) IncidentSofts(v int32) []int32 { return g.varSoft.of(v) }
 // The graph must be frozen.
 func (g *Graph) IncidentNaries(v int32) []int32 { return g.varNary.of(v) }
 
+// NumVars returns the number of variables in the graph.
+func (g *Graph) NumVars() int { return len(g.Vars) }
+
+// IsEvidence reports whether variable v is clamped evidence.
+func (g *Graph) IsEvidence(v int32) bool { return g.Vars[v].Evidence }
+
+// VisitQueryNeighbors calls visit for every query variable that shares an
+// n-ary factor with v, walking v's CSR adjacency row. A neighbor reached
+// through several factors is visited once per factor; callers that need a
+// set (e.g. greedy coloring) deduplicate with their own marker. The graph
+// must be frozen.
+func (g *Graph) VisitQueryNeighbors(v int32, visit func(u int32)) {
+	for _, ni := range g.varNary.of(v) {
+		for _, u := range g.Naries[ni].Vars {
+			if u != v && !g.Vars[u].Evidence {
+				visit(u)
+			}
+		}
+	}
+}
+
 // NarySlot returns the slot index of variable v within factor f, or -1
 // when v is not a member. Both the sampler's conditional evaluation and
 // the pseudo-likelihood gradient need it.

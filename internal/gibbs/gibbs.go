@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"holoclean/internal/factor"
 )
@@ -41,6 +42,31 @@ type Config struct {
 	// Nil falls back to Seed + v·1e6+3 per variable. Sequential sweeps
 	// ignore it.
 	VarSeed []int64
+	// Colors, when non-nil, selects the chromatic sweep schedule for
+	// graphs with query-side correlations: each entry is one color class —
+	// query variables that share no n-ary factor — and every sweep samples
+	// the classes in order, each class across IntraWorkers goroutines.
+	// Within a class the conditionals are mutually independent given the
+	// other classes, so the parallel class sweep is a valid single-site
+	// Gibbs schedule. Every variable draws from its own counter-based
+	// stream seeded by Seed/VarSeed, so deterministic mode (Fast == false)
+	// is bit-identical for every IntraWorkers value, including 1. The
+	// chromatic schedule visits variables in class order rather than the
+	// sequential sampler's shuffled order, so its draws differ from Run's
+	// sequential mode — equivalence holds across worker counts, not across
+	// schedules. Colors must cover exactly the query variables of the
+	// graph.
+	Colors [][]int32
+	// IntraWorkers bounds the goroutines sampling one color class
+	// (chromatic schedule only). Values <= 1 sweep sequentially — the
+	// reference schedule parallel runs must reproduce bit for bit.
+	IntraWorkers int
+	// Fast trades the per-variable deterministic streams of the chromatic
+	// schedule for per-worker RNGs with dynamic load balancing. The result
+	// is a valid sample from the same chain family — statistically
+	// equivalent — but NOT reproducible across runs or worker counts; the
+	// equivalence and byte-identity suites must not enable it.
+	Fast bool
 	// Scratch, when non-nil, supplies every working buffer of the run —
 	// marginal-count arenas, score buffers, sweep order, RNG state — so a
 	// warmed scratch makes steady-state sweeps allocation-free. The
@@ -63,6 +89,7 @@ type Scratch struct {
 	buf    []float64
 	order  []int32
 	query  []int32
+	pstate []uint64 // per-variable splitmix64 states (chromatic schedule)
 	m      factor.Marginals
 	src    rand.Source
 	rng    *rand.Rand
@@ -143,6 +170,14 @@ func growI(b []int32, n int) []int32 {
 	return make([]int32, n)
 }
 
+// growU64 is growF for uint64 slices.
+func growU64(b []uint64, n int) []uint64 {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	return make([]uint64, n)
+}
+
 // scratchPool backs AcquireScratch/ReleaseScratch. A process-wide pool
 // (rather than per-runner) means the worker pools of concurrent cleaning
 // jobs and successive Session recleans all share warmed arenas.
@@ -168,6 +203,9 @@ func Run(g *factor.Graph, cfg Config) *factor.Marginals {
 	sc := cfg.Scratch
 	if sc == nil {
 		sc = new(Scratch)
+	}
+	if len(cfg.Colors) > 0 {
+		return runChromatic(g, cfg, sc)
 	}
 	if cfg.Parallel && !g.HasNaryOnQuery() {
 		return runParallel(g, cfg, sc)
@@ -231,6 +269,256 @@ func Run(g *factor.Graph, cfg Config) *factor.Marginals {
 		}
 	}
 	return m
+}
+
+// splitmix64 advances a per-variable PRNG state and returns the next
+// 64-bit output (Steele, Lea & Flood's SplitMix64). Eight bytes of state
+// per variable is what makes per-variable streams affordable at 10⁶
+// variables — a math/rand source is ~5KB — and the stream depends only on
+// the variable's own seed and draw count, never on which goroutine
+// executes the draw, which is the whole determinism argument of the
+// chromatic schedule.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// splitFloat draws a uniform float64 in [0, 1) from the state.
+func splitFloat(state *uint64) float64 {
+	return float64(splitmix64(state)>>11) / (1 << 53)
+}
+
+// splitIntn draws a uniform-enough int in [0, n) from the state. Domain
+// sizes are tiny relative to 2^64, so modulo bias is negligible.
+func splitIntn(state *uint64, n int) int {
+	return int(splitmix64(state) % uint64(n))
+}
+
+// sampleSoftmaxState is sampleSoftmax over a splitmix64 stream.
+func sampleSoftmaxState(state *uint64, scores []float64) int {
+	maxS := math.Inf(-1)
+	for _, s := range scores {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	if math.IsInf(maxS, -1) {
+		return splitIntn(state, len(scores))
+	}
+	var z float64
+	for _, s := range scores {
+		z += math.Exp(s - maxS)
+	}
+	u := splitFloat(state) * z
+	var acc float64
+	for i, s := range scores {
+		acc += math.Exp(s - maxS)
+		if u < acc {
+			return i
+		}
+	}
+	return len(scores) - 1
+}
+
+// runChromatic executes the color-scheduled sweeps of Config.Colors: every
+// sweep visits the classes in order and samples each class's variables —
+// sequentially when IntraWorkers <= 1, otherwise in contiguous chunks
+// across an IntraWorkers-goroutine pool. Correctness of the parallel class
+// sweep: variables in one class share no n-ary factor, so each LocalScores
+// call reads only assignments frozen since the previous class boundary.
+//
+// Determinism (Fast == false): each variable draws from a private
+// splitmix64 stream advanced exactly once per sweep, so the draw sequence
+// depends only on the variable's seed — results are bit-identical for any
+// IntraWorkers value. Fast mode replaces the per-variable streams with
+// per-worker RNGs and dynamic work stealing; it is statistically
+// equivalent but not reproducible.
+func runChromatic(g *factor.Graph, cfg Config, sc *Scratch) *factor.Marginals {
+	query := sc.query[:0]
+	maxDom := 1
+	for i := range g.Vars {
+		v := &g.Vars[i]
+		if v.Evidence {
+			v.Assign = v.Obs
+			continue
+		}
+		query = append(query, int32(i))
+		if len(v.Domain) > maxDom {
+			maxDom = len(v.Domain)
+		}
+	}
+	sc.query = query
+	counts := sc.marginals(g)
+	// Seed every variable's stream by its identity, then draw initial
+	// assignments from the streams so initialization is as
+	// schedule-independent as the sweeps.
+	sc.pstate = growU64(sc.pstate, len(g.Vars))
+	for _, v := range query {
+		seed := cfg.Seed + int64(v)*1_000_003
+		if cfg.VarSeed != nil {
+			seed = cfg.VarSeed[v]
+		}
+		sc.pstate[v] = uint64(seed)
+		vr := &g.Vars[v]
+		if vr.Obs >= 0 {
+			vr.Assign = vr.Obs
+		} else {
+			vr.Assign = int32(splitIntn(&sc.pstate[v], len(vr.Domain)))
+		}
+	}
+
+	workers := cfg.IntraWorkers
+	if workers > len(query) {
+		workers = len(query)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if cap(sc.wk) >= workers {
+		sc.wk = sc.wk[:workers]
+	} else {
+		sc.wk = make([]workerScratch, workers)
+	}
+	for w := range sc.wk {
+		sc.wk[w].buf = growF(sc.wk[w].buf, maxDom)
+	}
+	sc.buf = growF(sc.buf, maxDom)
+
+	if cfg.Fast {
+		runChromaticFast(g, cfg, sc, counts, workers)
+	} else {
+		sweeps := cfg.BurnIn + cfg.Samples
+		for sweep := 0; sweep < sweeps; sweep++ {
+			collect := sweep >= cfg.BurnIn
+			for _, class := range cfg.Colors {
+				if workers <= 1 || len(class) < 2*workers {
+					for _, v := range class {
+						chromaticSampleVar(g, sc.pstate, counts, v, sc.buf, collect)
+					}
+					continue
+				}
+				chromaticClassParallel(g, sc, counts, class, workers, collect)
+			}
+		}
+	}
+
+	m := &sc.m
+	m.P = counts
+	n := float64(cfg.Samples)
+	for _, v := range query {
+		for d := range m.P[v] {
+			m.P[v][d] /= n
+		}
+	}
+	for i := range g.Vars {
+		if g.Vars[i].Evidence {
+			m.P[i][g.Vars[i].Obs] = 1
+		}
+	}
+	return m
+}
+
+// chromaticClassParallel samples one color class in contiguous chunks
+// across workers goroutines. It lives outside runChromatic so the
+// WaitGroup and goroutine closures never force heap allocations onto the
+// sequential (IntraWorkers <= 1) path, which the zero-alloc warmed-sweep
+// guarantee covers.
+func chromaticClassParallel(g *factor.Graph, sc *Scratch, counts [][]float64, class []int32, workers int, collect bool) {
+	var wg sync.WaitGroup
+	chunk := (len(class) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(class))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(buf []float64, part []int32) {
+			defer wg.Done()
+			for _, v := range part {
+				chromaticSampleVar(g, sc.pstate, counts, v, buf, collect)
+			}
+		}(sc.wk[w].buf, class[lo:hi])
+	}
+	wg.Wait()
+}
+
+// chromaticSampleVar draws variable v's next state from its private
+// splitmix64 stream into the caller-owned score buffer; collect
+// accumulates the draw into the marginal counts. Count rows of distinct
+// variables never alias, so concurrent collection within a color class is
+// race-free. Top-level (not a closure) so the warmed sequential path stays
+// allocation-free.
+func chromaticSampleVar(g *factor.Graph, pstate []uint64, counts [][]float64, v int32, buf []float64, collect bool) {
+	vr := &g.Vars[v]
+	scores := buf[:len(vr.Domain)]
+	g.LocalScores(v, scores)
+	d := sampleSoftmaxState(&pstate[v], scores)
+	vr.Assign = int32(d)
+	if collect {
+		counts[v][d]++
+	}
+}
+
+// runChromaticFast is the documented statistically-equivalent-only mode:
+// per-worker RNGs (seeded from cfg.Seed and the worker index) and dynamic
+// batch claiming over each class. Worker count and scheduling change the
+// draw streams, so two runs agree only in distribution.
+func runChromaticFast(g *factor.Graph, cfg Config, sc *Scratch, counts [][]float64, workers int) {
+	const batch = 64
+	for w := 0; w < workers; w++ {
+		sc.wk[w].seeded(cfg.Seed + int64(w)*7919 + 1)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	sweeps := cfg.BurnIn + cfg.Samples
+	for sweep := 0; sweep < sweeps; sweep++ {
+		collect := sweep >= cfg.BurnIn
+		for _, class := range cfg.Colors {
+			if workers <= 1 || len(class) < 2*workers {
+				ws := &sc.wk[0]
+				for _, v := range class {
+					fastSampleVar(g, ws.rng, ws.buf, counts, v, collect)
+				}
+				continue
+			}
+			next.Store(0)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(ws *workerScratch) {
+					defer wg.Done()
+					for {
+						lo := int(next.Add(batch)) - batch
+						if lo >= len(class) {
+							return
+						}
+						for _, v := range class[lo:min(lo+batch, len(class))] {
+							fastSampleVar(g, ws.rng, ws.buf, counts, v, collect)
+						}
+					}
+				}(&sc.wk[w])
+			}
+			wg.Wait()
+		}
+	}
+}
+
+// fastSampleVar is sampleVar over a worker RNG instead of the variable's
+// private stream.
+func fastSampleVar(g *factor.Graph, rng *rand.Rand, buf []float64, counts [][]float64, v int32, collect bool) {
+	vr := &g.Vars[v]
+	scores := buf[:len(vr.Domain)]
+	g.LocalScores(v, scores)
+	d := sampleSoftmax(rng, scores)
+	vr.Assign = int32(d)
+	if collect {
+		counts[v][d]++
+	}
 }
 
 // runParallel runs per-variable chains concurrently. Only valid when no

@@ -9,6 +9,13 @@
 # allocs/op already catches allocation regressions without double-firing
 # on byte-size drift of retained model structures.
 #
+# One-sided benchmarks — present in only one artifact, the normal state
+# of affairs right after a benchmark is added or retired — WARN but never
+# fail: a new benchmark has no baseline to regress against, and failing
+# on it would block every PR that adds one. Only an empty intersection
+# (no benchmark in both artifacts) is an error, since then the gate
+# compared nothing at all.
+#
 # Typical use: download the bench-results artifact of the main branch,
 # then   ./scripts/bench_compare.sh main/BENCH_pipeline.json bench-artifacts/BENCH_pipeline.json
 set -euo pipefail
@@ -56,7 +63,7 @@ NR <= nold { ons[$1] = $2; obytes[$1] = $3; oallocs[$1] = $4; next }
 {
   name = $1
   seen[name] = 1
-  if (!(name in ons)) { printf "SKIP  %-50s only in new artifact\n", name; next }
+  if (!(name in ons)) { printf "WARN  %-50s only in new artifact — no baseline, not gated\n", name; onesided++; next }
   compared++
   dns = pct(ons[name], $2)
   printf "%-50s ns/op %12.0f -> %12.0f  (%+.1f%%)\n", name, ons[name], $2, dns
@@ -74,8 +81,10 @@ END {
   # silently narrowing the comparison set would let a regressed
   # benchmark escape the gate by being renamed or deleted.
   for (name in ons)
-    if (!(name in seen)) printf "WARN  %-50s present in old artifact but missing from new — gate does not cover it\n", name
+    if (!(name in seen)) { printf "WARN  %-50s present in old artifact but missing from new — gate does not cover it\n", name; onesided++ }
   if (compared == 0) { print "FAIL: no benchmark appears in both artifacts"; exit 2 }
   if (bad) { print "FAIL: regression beyond " threshold "%"; exit 1 }
-  print "PASS: " compared " benchmark(s) within " threshold "%"
+  summary = "PASS: " compared " benchmark(s) within " threshold "%"
+  if (onesided > 0) summary = summary " (" onesided " one-sided, warned above)"
+  print summary
 }'

@@ -45,33 +45,47 @@ type SessionStoreInfo struct {
 // RunStatsInfo is holoclean.RunStats with wall-clock durations in
 // milliseconds, the shape clients chart latency from.
 type RunStatsInfo struct {
-	NoisyCells      int     `json:"noisy_cells"`
-	Variables       int     `json:"variables"`
-	Factors         int     `json:"factors"`
-	Shards          int     `json:"shards"`
-	SingletonShards int     `json:"singleton_shards"`
-	ShardsReused    int     `json:"shards_reused"`
-	DetectMS        float64 `json:"detect_ms"`
-	CompileMS       float64 `json:"compile_ms"`
-	LearnMS         float64 `json:"learn_ms"`
-	InferMS         float64 `json:"infer_ms"`
-	TotalMS         float64 `json:"total_ms"`
+	NoisyCells      int `json:"noisy_cells"`
+	Variables       int `json:"variables"`
+	Factors         int `json:"factors"`
+	Shards          int `json:"shards"`
+	SingletonShards int `json:"singleton_shards"`
+	ShardsReused    int `json:"shards_reused"`
+	// SplitShards counts sub-shards cut from oversized conflict
+	// components (Options.MaxComponentCells).
+	SplitShards int `json:"split_shards,omitempty"`
+	// ComponentSizeHist is the log2 histogram of conflict-component
+	// sizes in tuples (bucket k: 2^k <= n < 2^(k+1)); absent when the
+	// model grounds no correlation factors.
+	ComponentSizeHist []int `json:"component_size_hist,omitempty"`
+	// LargestComponentFrac is the fraction of conflicted tuples in the
+	// largest component — the skew gauge operators watch to decide
+	// whether a tenant needs MaxComponentCells / IntraWorkers.
+	LargestComponentFrac float64 `json:"largest_component_frac,omitempty"`
+	DetectMS             float64 `json:"detect_ms"`
+	CompileMS            float64 `json:"compile_ms"`
+	LearnMS              float64 `json:"learn_ms"`
+	InferMS              float64 `json:"infer_ms"`
+	TotalMS              float64 `json:"total_ms"`
 }
 
 func runStatsInfo(s holoclean.RunStats) *RunStatsInfo {
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	return &RunStatsInfo{
-		NoisyCells:      s.NoisyCells,
-		Variables:       s.Variables,
-		Factors:         s.Factors,
-		Shards:          s.Shards,
-		SingletonShards: s.SingletonShards,
-		ShardsReused:    s.ShardsReused,
-		DetectMS:        ms(s.DetectTime),
-		CompileMS:       ms(s.CompileTime),
-		LearnMS:         ms(s.LearnTime),
-		InferMS:         ms(s.InferTime),
-		TotalMS:         ms(s.TotalTime),
+		NoisyCells:           s.NoisyCells,
+		Variables:            s.Variables,
+		Factors:              s.Factors,
+		Shards:               s.Shards,
+		SingletonShards:      s.SingletonShards,
+		ShardsReused:         s.ShardsReused,
+		SplitShards:          s.SplitShards,
+		ComponentSizeHist:    s.ComponentSizeHist,
+		LargestComponentFrac: s.LargestComponentFrac,
+		DetectMS:             ms(s.DetectTime),
+		CompileMS:            ms(s.CompileTime),
+		LearnMS:              ms(s.LearnTime),
+		InferMS:              ms(s.InferTime),
+		TotalMS:              ms(s.TotalTime),
 	}
 }
 
@@ -230,6 +244,11 @@ type HealthResponse struct {
 	// Draining reports a graceful shutdown in progress: heavy jobs are
 	// being refused with 503 while in-flight work completes.
 	Draining bool `json:"draining,omitempty"`
+	// MaxComponentFrac is the largest LargestComponentFrac across all
+	// live sessions' last runs — the server-wide skew gauge: a value
+	// near 1 means some tenant's inference is dominated by one giant
+	// conflict component (see RunStatsInfo.LargestComponentFrac).
+	MaxComponentFrac float64 `json:"max_component_frac,omitempty"`
 	// Store aggregates the durable store's gauges; absent without one.
 	Store *StoreHealth `json:"store,omitempty"`
 }

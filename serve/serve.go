@@ -58,9 +58,17 @@ type Config struct {
 	Options *holoclean.Options
 	// Workers is each job's shard worker-pool size
 	// (holoclean.Options.Workers). 0 derives a fair share:
-	// GOMAXPROCS / MaxConcurrentJobs, at least 1 — so the configured
-	// concurrency never oversubscribes the machine.
+	// GOMAXPROCS / (MaxConcurrentJobs × IntraWorkers), at least 1 — so
+	// the configured concurrency never oversubscribes the machine even
+	// when every shard additionally samples with IntraWorkers
+	// goroutines.
 	Workers int
+	// IntraWorkers is each job's intra-shard sampler pool
+	// (holoclean.Options.IntraWorkers): goroutines sweeping one large
+	// conflict component's chromatic Gibbs schedule in parallel. It
+	// multiplies into the fair-share computation above, since a job's
+	// peak parallelism is Workers × IntraWorkers. 0 means 1.
+	IntraWorkers int
 	// MaxConcurrentJobs bounds heavy pipeline jobs running at once
 	// (default 2).
 	MaxConcurrentJobs int
@@ -128,8 +136,11 @@ func New(cfg Config) (*Server, error) {
 	if cfg.QueueDepth < 0 {
 		cfg.QueueDepth = 0
 	}
+	if cfg.IntraWorkers <= 0 {
+		cfg.IntraWorkers = 1
+	}
 	if cfg.Workers <= 0 {
-		cfg.Workers = runtime.GOMAXPROCS(0) / cfg.MaxConcurrentJobs
+		cfg.Workers = runtime.GOMAXPROCS(0) / (cfg.MaxConcurrentJobs * cfg.IntraWorkers)
 		if cfg.Workers < 1 {
 			cfg.Workers = 1
 		}
@@ -248,6 +259,7 @@ func (sv *Server) sessionOptions() holoclean.Options {
 		o = holoclean.DefaultOptions()
 	}
 	o.Workers = sv.cfg.Workers
+	o.IntraWorkers = sv.cfg.IntraWorkers
 	return o
 }
 
@@ -346,6 +358,13 @@ func (sv *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	sv.mu.Unlock()
 	resp := HealthResponse{OK: true, Sessions: n, Queued: int(sv.queued.Load()), Draining: sv.draining.Load()}
+	for _, t := range tenants {
+		t.resMu.RLock()
+		if t.last != nil && t.last.Stats.LargestComponentFrac > resp.MaxComponentFrac {
+			resp.MaxComponentFrac = t.last.Stats.LargestComponentFrac
+		}
+		t.resMu.RUnlock()
+	}
 	if sv.store != nil {
 		agg := &StoreHealth{Enabled: true, Dir: sv.store.Dir()}
 		for _, t := range tenants {

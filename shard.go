@@ -40,6 +40,13 @@ type shard struct {
 	// path — and with it its marginal — must not depend on them, which is
 	// what lets incremental re-cleaning re-batch only the dirty cells.
 	component bool
+	// split marks sub-shards cut out of an oversized conflict component
+	// by Options.MaxComponentCells. Split shards are not exact components:
+	// their cut severs real correlations, which boundary-factor damping
+	// (Scope.Boundary) partially restores. They never take the singleton
+	// fast path and fingerprint under their own kind so a re-split plan is
+	// never confused with a component plan.
+	split bool
 }
 
 // fingerprint identifies the shard's composition (cells plus cut kind)
@@ -50,7 +57,10 @@ func (sh shard) fingerprint(cells []dataset.Cell) string {
 		sc[k] = cells[i]
 	}
 	kind := "b|"
-	if sh.component {
+	switch {
+	case sh.split:
+		kind = "s|"
+	case sh.component:
 		kind = "c|"
 	}
 	return kind + partition.Fingerprint(sc)
@@ -70,7 +80,14 @@ const cellBatch = 256
 // into fixed-size chunks for the worker pool. The plan is deterministic
 // and depends only on the dataset and constraints — never on scheduling
 // or the worker count.
-func planShards(prep *compile.Prepared, coupled bool) []shard {
+//
+// maxComponentCells, when positive, splits conflict components holding
+// more cells than the cap into tuple-aligned sub-shards (Options.
+// MaxComponentCells). The cut is the same tuple-boundary batching used
+// for independent cells, so it too depends only on the plan inputs;
+// severed cross-sub-shard correlations are partially restored at
+// inference time by boundary-factor damping (see Scope.Boundary).
+func planShards(prep *compile.Prepared, coupled bool, maxComponentCells int) []shard {
 	dom := prep.Domains
 	n := len(dom.Cells)
 	if n == 0 {
@@ -107,7 +124,14 @@ func planShards(prep *compile.Prepared, coupled bool) []shard {
 	}
 	var out []shard
 	for _, cells := range byComp {
-		if len(cells) > 0 {
+		switch {
+		case len(cells) == 0:
+		case maxComponentCells > 0 && len(cells) > maxComponentCells:
+			for _, sub := range batchByTuple(dom.Cells, cells, maxComponentCells) {
+				sub.split = true
+				out = append(out, sub)
+			}
+		default:
 			out = append(out, shard{cells: cells, component: true})
 		}
 	}
@@ -401,6 +425,13 @@ func (r *shardRunner) runOne(sh shard) error {
 	db.Shared = r.shared
 	db.Interner = r.interner
 	db.Scope = &ddlog.Scope{InShard: inShard, QueryAttrs: r.queryAttrs}
+	if sh.split && o.BoundaryDamp > 0 {
+		// Only split sub-shards damp their boundary: ordinary component
+		// shards have no severed correlations (their cut is exact up to
+		// Algorithm 3's hypothetical-pair approximation), and batch shards
+		// hold independent variables.
+		db.Scope.Boundary = o.BoundaryDamp
+	}
 
 	// Grounding scratch comes from the process-wide arena pool, so the
 	// worker pool's steady stream of shard groundings — and every
@@ -450,6 +481,18 @@ func (r *shardRunner) runOne(sh shard) error {
 			cfg.Seed = o.Seed + (int64(cells[0].Tuple)*int64(numAttrs)+int64(cells[0].Attr)+1)*7919
 		}
 		if !hasNary && o.ParallelInference {
+			cfg.VarSeed = parallelVarSeeds(g, o.Seed, numAttrs)
+		}
+		// Large correlated shards switch to the chromatic schedule: color
+		// classes swept with IntraWorkers goroutines, bit-identical for any
+		// worker count. The threshold depends only on the grounded graph —
+		// never on worker counts — so the inference path of every variable
+		// is a pure function of the plan inputs, and small shards keep the
+		// legacy sequential schedule existing results are pinned to.
+		if hasNary && g.Stats.QueryVars >= chromaticMinVars {
+			cfg.Colors = partition.ColorGraph(g.Graph)
+			cfg.IntraWorkers = defaultIntraWorkers(o.IntraWorkers)
+			cfg.Fast = o.FastSweeps
 			cfg.VarSeed = parallelVarSeeds(g, o.Seed, numAttrs)
 		}
 		m = gibbs.Run(g.Graph, cfg)
@@ -511,6 +554,21 @@ func (r *shardRunner) runOne(sh shard) error {
 func defaultWorkers(w int) int {
 	if w <= 0 {
 		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// chromaticMinVars is the query-variable count at which a correlated
+// shard switches from the legacy sequential Gibbs schedule to the
+// chromatic one. It is a fixed constant — never derived from worker
+// counts or load — so which schedule a shard runs, and therefore its
+// exact draw sequence, depends only on the grounded graph.
+const chromaticMinVars = 512
+
+// defaultIntraWorkers resolves Options.IntraWorkers.
+func defaultIntraWorkers(w int) int {
+	if w <= 0 {
+		return 1
 	}
 	return w
 }
