@@ -33,6 +33,20 @@
 //	                 -pprof 127.0.0.1:6060 (off by default; never exposed
 //	                 on the main service address)
 //
+// Clustering (requires -store-dir):
+//
+//	-self URL        this node's advertised base URL, e.g.
+//	                 http://10.0.0.1:8080
+//	-peers LIST      comma-separated advertised URLs of every node,
+//	                 including -self, identical on all nodes. Enables the
+//	                 replication tier: sessions are placed on a
+//	                 consistent-hash ring, each node streams the WAL of
+//	                 sessions it leads to its ring standby (which serves
+//	                 reads and can be promoted via
+//	                 POST /cluster/promote/{id} after a leader failure),
+//	                 and writes landing on a non-leader answer 307 to the
+//	                 leader.
+//
 // On SIGTERM or SIGINT the daemon shuts down gracefully: new heavy jobs
 // are refused with 503, in-flight recleans finish and their log appends
 // land, every live session is checkpointed to the store, and the
@@ -51,6 +65,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -86,6 +101,8 @@ func main() {
 		maxUpload   = flag.Int64("max-upload", 32<<20, "max request body bytes")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight jobs on SIGTERM/SIGINT")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
+		self        = flag.String("self", "", "this node's advertised base URL in a cluster (e.g. http://10.0.0.1:8080)")
+		peers       = flag.String("peers", "", "comma-separated advertised URLs of all cluster nodes, including -self; enables WAL-shipping replication (requires -store-dir)")
 	)
 	flag.Parse()
 
@@ -115,6 +132,14 @@ func main() {
 			}
 		}
 	}
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, strings.TrimRight(p, "/"))
+			}
+		}
+	}
 	sv, err := serve.New(serve.Config{
 		Workers:           *workers,
 		IntraWorkers:      *intra,
@@ -125,6 +150,8 @@ func main() {
 		StoreDir:          *storeDir,
 		CheckpointEvery:   *ckptEvery,
 		MaxUploadBytes:    *maxUpload,
+		Self:              strings.TrimRight(*self, "/"),
+		Peers:             peerList,
 		Logf:              log.Printf,
 	})
 	if err != nil {

@@ -1,0 +1,80 @@
+// Package cluster is the replication tier under the serving layer: a
+// consistent-hash ring placing tenants on a static peer list, and a
+// WAL shipper that streams a leader's per-tenant operation logs to warm
+// standbys over HTTP.
+//
+// The design leans entirely on the determinism argument the durable
+// store already proved: every tenant is a logical operation log, and
+// the cleaning pipeline is deterministic given the logged inputs — so a
+// follower that holds the same verified frame prefix can replay it
+// through the live handler code paths and reach bit-identical state.
+// Replication therefore needs no bespoke state-transfer protocol: the
+// on-disk w1 frame format IS the wire format. Frames are CRC-verified
+// end to end (the follower re-checks every checksum before appending),
+// sequence density is enforced on both sides, and a follower's log file
+// is a byte-for-byte prefix-extension of the leader's.
+//
+// Shipping is pull-based and asynchronous: the standby long-polls
+// GET /replicate/wal/{id}?after=SEQ and appends what arrives, so the
+// leader holds no per-follower durability state and acknowledges writes
+// after its own fsync only — a follower is at most one group commit
+// behind, and promotion falls back on the recovery path (load latest
+// checkpoint, replay the tail) that crash recovery already pinned.
+// Idempotency keys ride inside the WAL records, so a client retrying an
+// ambiguous operation across a failover is deduplicated by the promoted
+// standby exactly as it would have been by the original leader.
+package cluster
+
+import "time"
+
+// HTTP surface of the replication protocol, shared by the serve
+// handlers (leader side) and the Shipper (follower side).
+const (
+	// PathLogs lists the tenants a node leads: a JSON array of LogInfo.
+	PathLogs = "/replicate/logs"
+	// PathWAL streams one tenant's frames: GET {PathWAL}{id}?after=SEQ
+	// &wait_ms=MS&follower=URL&applied_bytes=N. The response body is raw
+	// w1 frames; HdrReset marks a non-contiguous (adopt-wholesale)
+	// shipment. after doubles as the follower's applied position and
+	// applied_bytes as its local log size, so the leader's lag gauges
+	// need no extra round trip.
+	PathWAL = "/replicate/wal/"
+	// PathAccept receives a whole log during checkpoint-handoff
+	// migration: POST {PathAccept}{id} with raw frames as the body.
+	PathAccept = "/replicate/accept/"
+
+	// HdrReset ("true") marks a shipment that does not extend the
+	// follower's position contiguously; the follower must ResetFrames.
+	HdrReset = "X-Replication-Reset"
+	// HdrSeq carries the leader log's latest durable sequence number.
+	HdrSeq = "X-Replication-Seq"
+	// HdrBytes carries the leader log's durable size in bytes.
+	HdrBytes = "X-Replication-Bytes"
+	// HdrLeader names the leader's advertised URL on 307/409 write
+	// redirects and replication errors from non-leaders.
+	HdrLeader = "Leader"
+)
+
+// LogInfo is one entry of the leader's replication catalog
+// (GET /replicate/logs).
+type LogInfo struct {
+	ID    string `json:"id"`
+	Seq   uint64 `json:"seq"`
+	Bytes int64  `json:"bytes"`
+}
+
+// Lag is a follower's view of one shipped tenant: how far its local,
+// durable copy trails the leader's log, in operations and bytes.
+type Lag struct {
+	// AppliedSeq is the last sequence number durable in the local log.
+	AppliedSeq uint64 `json:"applied_seq"`
+	// LeaderSeq is the leader log's sequence number at the last poll.
+	LeaderSeq uint64 `json:"leader_seq"`
+	// Ops is LeaderSeq - AppliedSeq (0 when caught up).
+	Ops int64 `json:"ops"`
+	// Bytes is the leader log size minus the local log size at the last
+	// poll (approximate across compaction boundaries).
+	Bytes int64 `json:"bytes"`
+	// Polled is when the follower last heard from the leader.
+	Polled time.Time `json:"-"`
+}

@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// vnodesPerPeer is the virtual-node count per peer. 64 points per peer
+// keeps the largest/smallest ownership arc within a few percent of even
+// for small clusters while the ring stays tiny (a few KiB).
+const vnodesPerPeer = 64
+
+// Ring is a consistent-hash ring over a static peer list: each peer
+// owns the arcs clockwise of its virtual points, and a tenant belongs
+// to the first point at or after the hash of its id. Placement is a
+// pure function of (peers, id) — every node with the same -peers list
+// computes the same owner with no coordination, and adding or removing
+// one peer moves only the tenants on its arcs (~1/N of the keyspace),
+// which is what makes rebalancing incremental instead of total.
+type Ring struct {
+	peers  []string
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	peer string
+}
+
+// NewRing builds the ring. The peer list is order-insensitive (points
+// depend only on the peer strings) and must be identical on every node;
+// duplicate entries are collapsed.
+func NewRing(peers []string) *Ring {
+	seen := make(map[string]bool, len(peers))
+	r := &Ring{}
+	for _, p := range peers {
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		r.peers = append(r.peers, p)
+		for i := 0; i < vnodesPerPeer; i++ {
+			r.points = append(r.points, ringPoint{hash64(fmt.Sprintf("%s#%d", p, i)), p})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break by peer name so every node
+		// still agrees on the ordering.
+		return r.points[i].peer < r.points[j].peer
+	})
+	sort.Strings(r.peers)
+	return r
+}
+
+// Peers returns the distinct peers on the ring, sorted.
+func (r *Ring) Peers() []string { return r.peers }
+
+// Size is the number of distinct peers.
+func (r *Ring) Size() int { return len(r.peers) }
+
+// Owner returns the peer owning key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	succ := r.Successors(key, 1)
+	if len(succ) == 0 {
+		return ""
+	}
+	return succ[0]
+}
+
+// Successors returns up to n distinct peers clockwise from key's point:
+// the owner first, then the peers next on the ring — the natural
+// standby order (the first successor is the tenant's designated warm
+// standby).
+func (r *Ring) Successors(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	var out []string
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)].peer
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	// fnv-1a alone diffuses poorly across vnode names that differ in one
+	// mid-string byte (peer URLs share almost every character), which
+	// skews arc ownership badly; a 64-bit avalanche finalizer fixes the
+	// spread without any dependency.
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

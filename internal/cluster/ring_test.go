@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterminism pins the coordination-free placement contract:
+// every node computes the same owner from the same peer list, whatever
+// order the list arrives in.
+func TestRingDeterminism(t *testing.T) {
+	a := NewRing([]string{"http://n1", "http://n2", "http://n3"})
+	b := NewRing([]string{"http://n3", "http://n1", "http://n2", "http://n1"})
+	if a.Size() != 3 || b.Size() != 3 {
+		t.Fatalf("sizes %d/%d, want 3 (dedup)", a.Size(), b.Size())
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("s%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("owner of %s differs by peer-list order: %s vs %s", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+// TestRingDistribution asserts vnodes keep ownership within a sane
+// band: no peer of a 3-node ring owns fewer than 15%% or more than 55%%
+// of 3000 keys.
+func TestRingDistribution(t *testing.T) {
+	r := NewRing([]string{"http://n1", "http://n2", "http://n3"})
+	counts := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("s%d", i))]++
+	}
+	for peer, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.15 || frac > 0.55 {
+			t.Fatalf("peer %s owns %.0f%% of keys; vnode spread is broken", peer, frac*100)
+		}
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d peers own keys", len(counts))
+	}
+}
+
+// TestRingSuccessors pins the standby-order contract: the owner leads
+// the list, entries are distinct, and asking for more peers than exist
+// returns them all.
+func TestRingSuccessors(t *testing.T) {
+	r := NewRing([]string{"http://n1", "http://n2", "http://n3"})
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("s%d", i)
+		succ := r.Successors(key, 2)
+		if len(succ) != 2 {
+			t.Fatalf("Successors(%s, 2) = %v", key, succ)
+		}
+		if succ[0] != r.Owner(key) {
+			t.Fatalf("successor list of %s does not lead with the owner: %v", key, succ)
+		}
+		if succ[0] == succ[1] {
+			t.Fatalf("successor list of %s repeats a peer: %v", key, succ)
+		}
+		all := r.Successors(key, 10)
+		if len(all) != 3 {
+			t.Fatalf("Successors(%s, 10) = %v, want all 3 peers", key, all)
+		}
+	}
+}
+
+// TestRingIncrementalRebalance asserts adding a fourth peer moves only
+// a minority of keys — the property that makes scale-out cheap.
+func TestRingIncrementalRebalance(t *testing.T) {
+	before := NewRing([]string{"http://n1", "http://n2", "http://n3"})
+	after := NewRing([]string{"http://n1", "http://n2", "http://n3", "http://n4"})
+	moved, n := 0, 3000
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("s%d", i)
+		if before.Owner(key) != after.Owner(key) {
+			moved++
+			if after.Owner(key) != "http://n4" {
+				t.Fatalf("key %s moved between surviving peers (%s -> %s)", key, before.Owner(key), after.Owner(key))
+			}
+		}
+	}
+	if frac := float64(moved) / float64(n); frac > 0.45 {
+		t.Fatalf("adding one peer moved %.0f%% of keys; want ~25%%", frac*100)
+	}
+}
+
+// TestRingEmpty covers the degenerate rings.
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil)
+	if r.Owner("x") != "" || r.Successors("x", 2) != nil || r.Size() != 0 {
+		t.Fatal("empty ring must own nothing")
+	}
+	solo := NewRing([]string{"http://n1"})
+	if solo.Owner("x") != "http://n1" {
+		t.Fatal("single-peer ring must own everything")
+	}
+	if succ := solo.Successors("x", 3); len(succ) != 1 {
+		t.Fatalf("single-peer successors = %v", succ)
+	}
+}

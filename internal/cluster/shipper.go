@@ -1,0 +1,307 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+
+	"holoclean/internal/store"
+)
+
+// ShipperConfig wires one Shipper to one leader.
+type ShipperConfig struct {
+	// Leader is the leader's base URL (no trailing slash).
+	Leader string
+	// Self is this follower's advertised URL, reported to the leader so
+	// its lag gauges can name who is behind.
+	Self string
+	// Store receives the shipped logs (one per tenant, same directory
+	// layout as the leader's — promotion recovers straight from it).
+	Store *store.Store
+	// Filter selects which of the leader's tenants to ship; nil ships
+	// all of them. Consulted on every round, so a tenant promoted away
+	// mid-flight stops shipping at the next poll.
+	Filter func(id string) bool
+	// Apply, when non-nil, runs after each durable shipment so the
+	// serving layer can keep a warm replica session. Failures are
+	// logged, not fatal: the durable copy is already correct, and a
+	// restore from the log rebuilds the session lazily.
+	Apply func(id string, frames []store.Frame, reset bool) error
+	// Remove, when non-nil, runs when the leader no longer has a tenant
+	// (it was deleted or migrated away).
+	Remove func(id string) error
+	// Interval is the catalog poll period and the error backoff
+	// (default 250ms). Individual tenant streams long-poll and do not
+	// wait on it.
+	Interval time.Duration
+	// WaitMS is the long-poll budget the leader is asked to hold a tail
+	// request open for (default 5000).
+	WaitMS int
+	// Client is the HTTP client (default http.DefaultClient with the
+	// long-poll budget added to its timeout).
+	Client *http.Client
+	// Logf receives operational log lines; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// Shipper follows one leader: it discovers the leader's tenant logs,
+// long-polls each one's tail, verifies and appends the shipped frames
+// to the local store, and tracks per-tenant lag. Safe for concurrent
+// use; one goroutine per followed tenant.
+type Shipper struct {
+	cfg ShipperConfig
+
+	mu      sync.Mutex
+	lags    map[string]Lag
+	running map[string]bool
+	wg      sync.WaitGroup
+}
+
+// NewShipper validates cfg and builds a Shipper; call Run to start it.
+func NewShipper(cfg ShipperConfig) (*Shipper, error) {
+	if cfg.Leader == "" {
+		return nil, errors.New("cluster: shipper needs a leader URL")
+	}
+	if cfg.Store == nil {
+		return nil, errors.New("cluster: shipper needs a store")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 250 * time.Millisecond
+	}
+	if cfg.WaitMS <= 0 {
+		cfg.WaitMS = 5000
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: time.Duration(cfg.WaitMS)*time.Millisecond + 30*time.Second}
+	}
+	return &Shipper{
+		cfg:     cfg,
+		lags:    make(map[string]Lag),
+		running: make(map[string]bool),
+	}, nil
+}
+
+func (s *Shipper) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Run polls the leader's catalog and keeps one tail-follower per
+// selected tenant until ctx is cancelled. It blocks; run it in a
+// goroutine.
+func (s *Shipper) Run(ctx context.Context) {
+	tick := time.NewTicker(s.cfg.Interval)
+	defer tick.Stop()
+	for {
+		s.sweep(ctx)
+		select {
+		case <-ctx.Done():
+			s.wg.Wait()
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// sweep fetches the catalog once and starts followers for new tenants.
+func (s *Shipper) sweep(ctx context.Context) {
+	infos, err := s.catalog(ctx)
+	if err != nil {
+		if ctx.Err() == nil {
+			s.logf("cluster: catalog of %s: %v", s.cfg.Leader, err)
+		}
+		return
+	}
+	for _, info := range infos {
+		id := info.ID
+		if s.cfg.Filter != nil && !s.cfg.Filter(id) {
+			continue
+		}
+		s.mu.Lock()
+		started := s.running[id]
+		if !started {
+			s.running[id] = true
+			s.wg.Add(1)
+		}
+		s.mu.Unlock()
+		if started {
+			continue
+		}
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.running, id)
+				s.mu.Unlock()
+			}()
+			s.follow(ctx, id)
+		}()
+	}
+}
+
+// catalog lists the leader's tenant logs.
+func (s *Shipper) catalog(ctx context.Context) ([]LogInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", s.cfg.Leader+PathLogs, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	var infos []LogInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		return nil, err
+	}
+	return infos, nil
+}
+
+// follow long-polls one tenant's tail until the context ends, the
+// filter deselects it, or the leader stops serving it.
+func (s *Shipper) follow(ctx context.Context, id string) {
+	for ctx.Err() == nil {
+		if s.cfg.Filter != nil && !s.cfg.Filter(id) {
+			return
+		}
+		shipped, err := s.shipOnce(ctx, id)
+		if err != nil {
+			if errors.Is(err, errGone) {
+				s.dropTenant(id)
+				return
+			}
+			if ctx.Err() == nil {
+				s.logf("cluster: shipping %s from %s: %v", id, s.cfg.Leader, err)
+				select {
+				case <-ctx.Done():
+				case <-time.After(s.cfg.Interval):
+				}
+			}
+			continue
+		}
+		_ = shipped // an empty long-poll round paces itself on the leader side
+	}
+}
+
+// errGone marks a tenant the leader answered 404 for.
+var errGone = errors.New("tenant gone from leader")
+
+// shipOnce performs one tail request: ask for frames after the local
+// durable position, verify and append what arrives, and run the Apply
+// hook. Returns the number of frames shipped.
+func (s *Shipper) shipOnce(ctx context.Context, id string) (int, error) {
+	l, err := s.cfg.Store.Log(id)
+	if err != nil {
+		return 0, err
+	}
+	st := l.Stats()
+	after := st.Seq
+	q := url.Values{
+		"after":         {strconv.FormatUint(after, 10)},
+		"applied_bytes": {strconv.FormatInt(st.WALBytes, 10)},
+		"wait_ms":       {strconv.Itoa(s.cfg.WaitMS)},
+		"follower":      {s.cfg.Self},
+	}
+	req, err := http.NewRequestWithContext(ctx, "GET", s.cfg.Leader+PathWAL+id+"?"+q.Encode(), nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := s.cfg.Client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return 0, errGone
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return 0, fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	reset := resp.Header.Get(HdrReset) == "true"
+	var frames []store.Frame
+	sc := store.NewFrameScanner(resp.Body)
+	for {
+		fr, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Damage in transit: abandon the round; the next request
+			// re-ships from the durable position.
+			return 0, fmt.Errorf("verifying shipped frames: %w", err)
+		}
+		frames = append(frames, fr)
+	}
+	if reset {
+		err = l.ResetFrames(frames)
+	} else if len(frames) > 0 {
+		err = l.AppendFrames(frames)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("appending shipped frames: %w", err)
+	}
+	leaderSeq, _ := strconv.ParseUint(resp.Header.Get(HdrSeq), 10, 64)
+	leaderBytes, _ := strconv.ParseInt(resp.Header.Get(HdrBytes), 10, 64)
+	st = l.Stats()
+	lag := Lag{
+		AppliedSeq: st.Seq,
+		LeaderSeq:  leaderSeq,
+		Bytes:      leaderBytes - st.WALBytes,
+		Polled:     time.Now(),
+	}
+	if leaderSeq > st.Seq {
+		lag.Ops = int64(leaderSeq - st.Seq)
+	}
+	if lag.Bytes < 0 {
+		lag.Bytes = 0
+	}
+	s.mu.Lock()
+	s.lags[id] = lag
+	s.mu.Unlock()
+	if (len(frames) > 0 || reset) && s.cfg.Apply != nil {
+		if err := s.cfg.Apply(id, frames, reset); err != nil {
+			s.logf("cluster: warm apply of %s: %v", id, err)
+		}
+	}
+	return len(frames), nil
+}
+
+// dropTenant forgets a tenant the leader no longer serves.
+func (s *Shipper) dropTenant(id string) {
+	s.mu.Lock()
+	delete(s.lags, id)
+	s.mu.Unlock()
+	if s.cfg.Remove != nil {
+		if err := s.cfg.Remove(id); err != nil {
+			s.logf("cluster: dropping %s: %v", id, err)
+		}
+	}
+}
+
+// Lag snapshots the per-tenant lag gauges.
+func (s *Shipper) Lag() map[string]Lag {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]Lag, len(s.lags))
+	for id, l := range s.lags {
+		out[id] = l
+	}
+	return out
+}
+
+// Leader returns the followed leader's base URL.
+func (s *Shipper) Leader() string { return s.cfg.Leader }

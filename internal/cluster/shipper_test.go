@@ -1,0 +1,404 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"holoclean/internal/store"
+)
+
+// fakeLeader serves the replication protocol from a real store.Store,
+// exactly as the serve layer does, so the shipper is tested against the
+// same frame bytes production ships.
+type fakeLeader struct {
+	st *store.Store
+	mu sync.Mutex
+	// gone lists tenants answered with 404 (deleted/migrated away).
+	gone map[string]bool
+	// lastFollower records the follower= parameter of the last tail poll.
+	lastFollower string
+}
+
+func (f *fakeLeader) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+PathLogs, func(w http.ResponseWriter, r *http.Request) {
+		var infos []LogInfo
+		ids, _ := f.st.IDs()
+		for _, id := range ids {
+			f.mu.Lock()
+			gone := f.gone[id]
+			f.mu.Unlock()
+			if gone {
+				continue
+			}
+			l, err := f.st.Log(id)
+			if err != nil {
+				continue
+			}
+			st := l.Stats()
+			infos = append(infos, LogInfo{ID: id, Seq: st.Seq, Bytes: st.WALBytes})
+		}
+		json.NewEncoder(w).Encode(infos)
+	})
+	mux.HandleFunc("GET "+PathWAL+"{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		f.mu.Lock()
+		gone := f.gone[id]
+		f.lastFollower = r.URL.Query().Get("follower")
+		f.mu.Unlock()
+		if gone {
+			http.NotFound(w, r)
+			return
+		}
+		l, err := f.st.Log(id)
+		if err != nil {
+			http.NotFound(w, r)
+			return
+		}
+		after, _ := strconv.ParseUint(r.URL.Query().Get("after"), 10, 64)
+		frames, reset, err := l.FramesSince(after)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		st := l.Stats()
+		w.Header().Set(HdrSeq, strconv.FormatUint(st.Seq, 10))
+		w.Header().Set(HdrBytes, strconv.FormatInt(st.WALBytes, 10))
+		if reset {
+			w.Header().Set(HdrReset, "true")
+		}
+		for _, fr := range frames {
+			w.Write(fr.Raw)
+		}
+	})
+	return mux
+}
+
+func newShipperFixture(t *testing.T) (*fakeLeader, *httptest.Server, *store.Store, string) {
+	t.Helper()
+	leaderStore, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { leaderStore.Close() })
+	fl := &fakeLeader{st: leaderStore, gone: map[string]bool{}}
+	srv := httptest.NewServer(fl.handler())
+	t.Cleanup(srv.Close)
+	followerDir := t.TempDir()
+	followerStore, err := store.Open(followerDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { followerStore.Close() })
+	return fl, srv, followerStore, followerDir
+}
+
+func appendOps(t *testing.T, s *store.Store, id string, from, to int) {
+	t.Helper()
+	l, err := s.Log(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := from; i <= to; i++ {
+		if err := l.Append(store.OpDeltas, []byte(fmt.Sprintf(`{"i":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestShipperMirrorsLeader runs a shipper against a fake leader and
+// asserts the follower's on-disk log becomes byte-identical, lag drops
+// to zero, the Apply hook observes the shipped frames, and new appends
+// keep flowing.
+func TestShipperMirrorsLeader(t *testing.T) {
+	fl, srv, followerStore, followerDir := newShipperFixture(t)
+	appendOps(t, fl.st, "s1", 1, 5)
+
+	var applyMu sync.Mutex
+	applied := map[string]int{}
+	sh, err := NewShipper(ShipperConfig{
+		Leader:   srv.URL,
+		Self:     "http://follower",
+		Store:    followerStore,
+		Interval: 20 * time.Millisecond,
+		WaitMS:   50,
+		Apply: func(id string, frames []store.Frame, reset bool) error {
+			applyMu.Lock()
+			applied[id] += len(frames)
+			applyMu.Unlock()
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { sh.Run(ctx); close(done) }()
+	defer func() { cancel(); <-done }()
+
+	waitFor(t, "initial catch-up", func() bool {
+		lag, ok := sh.Lag()["s1"]
+		return ok && lag.Ops == 0 && lag.AppliedSeq == 5
+	})
+	leaderBytes, _ := os.ReadFile(filepath.Join(fl.st.Dir(), "s1.wal"))
+	followerBytes, _ := os.ReadFile(filepath.Join(followerDir, "s1.wal"))
+	if !bytes.Equal(leaderBytes, followerBytes) {
+		t.Fatal("follower log is not byte-identical after catch-up")
+	}
+	applyMu.Lock()
+	if applied["s1"] != 5 {
+		t.Fatalf("Apply saw %d frames, want 5", applied["s1"])
+	}
+	applyMu.Unlock()
+
+	// Tail-follow: more leader appends arrive without restarting anything.
+	appendOps(t, fl.st, "s1", 6, 8)
+	waitFor(t, "tail shipment", func() bool {
+		lag := sh.Lag()["s1"]
+		return lag.AppliedSeq == 8 && lag.Ops == 0
+	})
+	leaderBytes, _ = os.ReadFile(filepath.Join(fl.st.Dir(), "s1.wal"))
+	followerBytes, _ = os.ReadFile(filepath.Join(followerDir, "s1.wal"))
+	if !bytes.Equal(leaderBytes, followerBytes) {
+		t.Fatal("follower log is not byte-identical after tail shipment")
+	}
+	fl.mu.Lock()
+	if fl.lastFollower != "http://follower" {
+		t.Fatalf("leader saw follower=%q", fl.lastFollower)
+	}
+	fl.mu.Unlock()
+}
+
+// TestShipperResetAfterCompaction covers the reset path end to end: a
+// follower parked at seq 2 comes back after the leader compacted past
+// it, the first poll carries X-Replication-Reset, and the follower
+// adopts the compacted log wholesale.
+func TestShipperResetAfterCompaction(t *testing.T) {
+	fl, srv, followerStore, followerDir := newShipperFixture(t)
+	appendOps(t, fl.st, "s1", 1, 4)
+
+	// Park the follower at seq 2 before the shipper exists, as if it had
+	// been offline since then.
+	ll, _ := fl.st.Log("s1")
+	early, _, err := ll.FramesSince(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parked, _ := followerStore.Log("s1")
+	if err := parked.AppendFrames(early[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := ll.Append(store.OpCheckpoint, []byte(`{"at":"2026-01-01T00:00:00Z"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ll.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	appendOps(t, fl.st, "s1", 0, 0) // one more op (seq 6) past the checkpoint
+
+	sh, err := NewShipper(ShipperConfig{
+		Leader:   srv.URL,
+		Store:    followerStore,
+		Interval: 20 * time.Millisecond,
+		WaitMS:   50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { sh.Run(ctx); close(done) }()
+	defer func() { cancel(); <-done }()
+
+	waitFor(t, "reset adoption", func() bool {
+		return sh.Lag()["s1"].AppliedSeq == 6
+	})
+	leaderBytes, _ := os.ReadFile(filepath.Join(fl.st.Dir(), "s1.wal"))
+	followerBytes, _ := os.ReadFile(filepath.Join(followerDir, "s1.wal"))
+	if !bytes.Equal(leaderBytes, followerBytes) {
+		t.Fatal("follower log is not byte-identical after reset")
+	}
+	fl2, _ := followerStore.Log("s1")
+	if fl2.Stats().Seq != 6 {
+		t.Fatalf("follower seq after reset = %d, want 6", fl2.Stats().Seq)
+	}
+}
+
+// TestShipperFilterAndRemove covers placement boundaries: a filtered
+// tenant is never shipped, and a tenant the leader 404s is handed to the
+// Remove hook and its lag entry dropped.
+func TestShipperFilterAndRemove(t *testing.T) {
+	fl, srv, followerStore, followerDir := newShipperFixture(t)
+	appendOps(t, fl.st, "keep", 1, 2)
+	appendOps(t, fl.st, "skip", 1, 2)
+
+	var removeMu sync.Mutex
+	var removed []string
+	sh, err := NewShipper(ShipperConfig{
+		Leader:   srv.URL,
+		Store:    followerStore,
+		Interval: 20 * time.Millisecond,
+		WaitMS:   50,
+		Filter:   func(id string) bool { return id != "skip" },
+		Remove: func(id string) error {
+			removeMu.Lock()
+			removed = append(removed, id)
+			removeMu.Unlock()
+			return followerStore.Remove(id)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { sh.Run(ctx); close(done) }()
+	defer func() { cancel(); <-done }()
+
+	waitFor(t, "selected tenant catch-up", func() bool {
+		return sh.Lag()["keep"].AppliedSeq == 2
+	})
+	if _, err := os.Stat(filepath.Join(followerDir, "skip.wal")); !os.IsNotExist(err) {
+		t.Fatal("filtered tenant was shipped anyway")
+	}
+	if _, ok := sh.Lag()["skip"]; ok {
+		t.Fatal("filtered tenant has a lag entry")
+	}
+
+	// The leader stops serving "keep": follower drops it via Remove.
+	fl.mu.Lock()
+	fl.gone["keep"] = true
+	fl.mu.Unlock()
+	waitFor(t, "gone tenant removal", func() bool {
+		removeMu.Lock()
+		defer removeMu.Unlock()
+		return len(removed) == 1 && removed[0] == "keep"
+	})
+	waitFor(t, "lag entry dropped", func() bool {
+		_, ok := sh.Lag()["keep"]
+		return !ok
+	})
+}
+
+// TestShipperRejectsDamagedShipment asserts a frame damaged in transit
+// never reaches the follower's log: the round fails, the durable
+// position stays put, and an intact retry lands cleanly.
+func TestShipperRejectsDamagedShipment(t *testing.T) {
+	leaderStore, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leaderStore.Close()
+	appendOps(t, leaderStore, "s1", 1, 3)
+	ll, _ := leaderStore.Log("s1")
+	frames, _, err := ll.FramesSince(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var corrupt bool
+	var mu sync.Mutex
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+PathLogs, func(w http.ResponseWriter, r *http.Request) {
+		st := ll.Stats()
+		json.NewEncoder(w).Encode([]LogInfo{{ID: "s1", Seq: st.Seq, Bytes: st.WALBytes}})
+	})
+	mux.HandleFunc("GET "+PathWAL+"{id}", func(w http.ResponseWriter, r *http.Request) {
+		after, _ := strconv.ParseUint(r.URL.Query().Get("after"), 10, 64)
+		if after >= 3 {
+			w.Header().Set(HdrSeq, "3")
+			return
+		}
+		st := ll.Stats()
+		w.Header().Set(HdrSeq, strconv.FormatUint(st.Seq, 10))
+		w.Header().Set(HdrBytes, strconv.FormatInt(st.WALBytes, 10))
+		mu.Lock()
+		flip := corrupt
+		corrupt = false
+		mu.Unlock()
+		for i, fr := range frames {
+			raw := fr.Raw
+			if flip && i == 1 {
+				raw = bytes.Replace(raw, []byte(`"i":2`), []byte(`"i":X`), 1)
+			}
+			w.Write(raw)
+		}
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	followerDir := t.TempDir()
+	followerStore, err := store.Open(followerDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer followerStore.Close()
+
+	var logs []string
+	var logMu sync.Mutex
+	mu.Lock()
+	corrupt = true
+	mu.Unlock()
+	sh, err := NewShipper(ShipperConfig{
+		Leader:   srv.URL,
+		Store:    followerStore,
+		Interval: 20 * time.Millisecond,
+		WaitMS:   50,
+		Logf: func(format string, args ...any) {
+			logMu.Lock()
+			logs = append(logs, fmt.Sprintf(format, args...))
+			logMu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { sh.Run(ctx); close(done) }()
+	defer func() { cancel(); <-done }()
+
+	// The corrupted round must fail and the intact retry must land all 3.
+	waitFor(t, "clean retry after damaged shipment", func() bool {
+		return sh.Lag()["s1"].AppliedSeq == 3
+	})
+	logMu.Lock()
+	defer logMu.Unlock()
+	var sawDamage bool
+	for _, line := range logs {
+		if strings.Contains(line, "torn or damaged frame") {
+			sawDamage = true
+		}
+	}
+	if !sawDamage {
+		t.Fatalf("damaged shipment was not detected; logs: %v", logs)
+	}
+	fl, _ := followerStore.Log("s1")
+	if fl.Stats().Seq != 3 {
+		t.Fatalf("follower seq = %d, want 3", fl.Stats().Seq)
+	}
+}

@@ -1,0 +1,336 @@
+package store
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// This file is the store's replication surface: the one frame parser
+// every reader of the w1 format shares (boot recovery and the WAL
+// shipper alike — a second ad-hoc parser would inevitably drift on the
+// torn-tail rules), plus the Log APIs a replication tier needs: reading
+// verified frames after a sequence number, following the tail as it
+// grows, and appending frames received from a leader verbatim so a
+// follower's log stays a byte-for-byte extension of what the leader
+// shipped.
+
+// Frame is one verified frame: the parsed record plus its exact wire
+// form (the newline-terminated line as it sits in the file). Shipping
+// Raw instead of re-framing on the receiver keeps leader and follower
+// logs byte-identical and lets the receiver re-verify the CRC end to
+// end — over the network as well as on disk.
+type Frame struct {
+	Record
+	Raw []byte
+}
+
+// ErrTornFrame reports that a scan stopped at a damaged frame: an
+// unterminated final line, a CRC or header mismatch, or a sequence gap.
+// Everything before it verified; the scanner's Offset tells where the
+// verified prefix ends.
+var ErrTornFrame = errors.New("store: torn or damaged frame")
+
+// FrameScanner iterates verified frames from a reader. It enforces the
+// same acceptance rules as boot recovery: every frame must parse and
+// CRC-verify, and sequence numbers must be dense after the first frame
+// (the first may be anything — a compacted log starts mid-sequence).
+// Next returns io.EOF at a clean end and an error wrapping ErrTornFrame
+// at the first damaged frame.
+type FrameScanner struct {
+	r       *bufio.Reader
+	off     int64
+	lastSeq uint64
+	started bool
+}
+
+// NewFrameScanner wraps r for frame iteration.
+func NewFrameScanner(r io.Reader) *FrameScanner {
+	return &FrameScanner{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Next returns the next verified frame. io.EOF means the input ended
+// cleanly on a frame boundary; any wrapped ErrTornFrame means the rest
+// of the input cannot be vouched for.
+func (s *FrameScanner) Next() (Frame, error) {
+	line, err := s.r.ReadBytes('\n')
+	if len(line) == 0 && err != nil {
+		if err == io.EOF {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, err
+	}
+	if err != nil {
+		return Frame{}, fmt.Errorf("%w: unterminated final line", ErrTornFrame)
+	}
+	rec, perr := parseFrame(line[:len(line)-1])
+	if perr != nil {
+		return Frame{}, fmt.Errorf("%w: %v", ErrTornFrame, perr)
+	}
+	if s.started && rec.Seq != s.lastSeq+1 {
+		return Frame{}, fmt.Errorf("%w: sequence gap (%d after %d)", ErrTornFrame, rec.Seq, s.lastSeq)
+	}
+	s.started = true
+	s.lastSeq = rec.Seq
+	s.off += int64(len(line))
+	return Frame{Record: rec, Raw: line}, nil
+}
+
+// Offset is the number of bytes of verified frames consumed so far —
+// after an ErrTornFrame, the length of the longest verified prefix.
+func (s *FrameScanner) Offset() int64 { return s.off }
+
+// FramesSince returns the log's verified frames with sequence numbers
+// strictly greater than after, up to the durability horizon (frames
+// beyond the last successful group commit are never shipped — a
+// follower must stay at most one fsync behind, never ahead of what the
+// leader can vouch for).
+//
+// reset reports that the returned frames do not extend `after`
+// contiguously: either compaction cut the log past the caller's
+// position (the file now starts beyond after+1) or the caller is ahead
+// of this log (divergence — e.g. a follower of a deposed leader). In
+// both cases the caller must discard its copy and adopt the returned
+// frames wholesale (ResetFrames); the file always starts at a
+// checkpoint or genesis create record, so the returned prefix is
+// self-sufficient.
+func (l *Log) FramesSince(after uint64) (frames []Frame, reset bool, err error) {
+	l.mu.Lock()
+	path, horizon, lastSeq := l.path, l.durable, l.st.Seq
+	closed := l.f == nil
+	l.mu.Unlock()
+	if closed {
+		return nil, false, fmt.Errorf("store: log is closed")
+	}
+	// A fresh read handle: the append handle's position belongs to the
+	// writer, and an O_RDONLY open observes the same bytes.
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, fmt.Errorf("store: opening log for shipping: %w", err)
+	}
+	defer f.Close()
+	sc := NewFrameScanner(io.LimitReader(f, horizon))
+	first := true
+	for {
+		fr, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if errors.Is(err, ErrTornFrame) {
+				// Within the durability horizon every frame verified at
+				// the last scan; damage here is real corruption, not a
+				// torn tail. Ship the verified prefix and surface it.
+				return nil, false, fmt.Errorf("store: shipping scan of %s: %w", l.id, err)
+			}
+			return nil, false, err
+		}
+		if first {
+			first = false
+			if fr.Seq > after+1 && after > 0 {
+				reset = true // compaction cut past the caller's position
+			}
+		}
+		if reset || fr.Seq > after {
+			frames = append(frames, fr)
+		}
+	}
+	if after > lastSeq {
+		// The caller is ahead of this log: divergence. Everything we
+		// have is the answer, as a reset.
+		return frames, true, nil
+	}
+	return frames, reset, nil
+}
+
+// Wait returns a channel closed after the next durable append (from
+// Append, AppendFrames, or ResetFrames). Callers use it to follow the
+// tail without polling:
+//
+//	seq := l.Stats().Seq
+//	ch := l.Wait()
+//	frames, _, _ := l.FramesSince(seq) // re-check after arming
+//	if len(frames) == 0 { <-ch }       // sleeps until new data
+//
+// The arm-then-check order matters: a record appended between Stats and
+// Wait is caught by the re-check, so no append is ever slept through.
+func (l *Log) Wait() <-chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.notify == nil {
+		l.notify = make(chan struct{})
+	}
+	return l.notify
+}
+
+// signalLocked wakes tail followers after a durable append. Call with
+// l.mu held.
+func (l *Log) signalLocked() {
+	if l.notify != nil {
+		close(l.notify)
+		l.notify = nil
+	}
+}
+
+// AppendFrames appends frames received from a leader verbatim: each
+// frame is re-verified (CRC and density against the current tail), the
+// raw bytes are written unchanged, and the batch is group-committed
+// before returning — the follower-side half of WAL shipping. The first
+// frame must be the next sequence number of this log; an empty log
+// accepts any starting sequence (a shipped log may start mid-sequence
+// after the leader compacted).
+func (l *Log) AppendFrames(frames []Frame) error {
+	if len(frames) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	if l.f == nil {
+		l.mu.Unlock()
+		return fmt.Errorf("store: log of %s is closed", l.id)
+	}
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	prev := l.st.WALBytes
+	seq := l.st.Seq
+	var buf []byte
+	for i, fr := range frames {
+		rec, err := parseFrame(trimNewline(fr.Raw))
+		if err != nil {
+			l.mu.Unlock()
+			return fmt.Errorf("store: shipped frame %d of %s: %w", i, l.id, err)
+		}
+		if i == 0 && prev == 0 {
+			seq = rec.Seq - 1 // empty log adopts the shipped numbering
+		}
+		if rec.Seq != seq+1 {
+			l.mu.Unlock()
+			return fmt.Errorf("store: shipped frame %d of %s has seq %d, want %d", i, l.id, rec.Seq, seq+1)
+		}
+		seq = rec.Seq
+		buf = append(buf, fr.Raw...)
+	}
+	if _, err := l.f.Write(buf); err != nil {
+		if terr := l.f.Truncate(prev); terr != nil {
+			l.poisonLocked(fmt.Errorf("store: log of %s unusable: frame append failed (%v) and rollback failed: %w", l.id, err, terr))
+		} else {
+			l.f.Seek(prev, 0)
+		}
+		l.mu.Unlock()
+		return fmt.Errorf("store: appending shipped frames to %s: %w", l.id, err)
+	}
+	off := prev
+	for _, fr := range frames {
+		l.st.Seq = fr.Seq
+		l.noteRecordLocked(fr.Record, off)
+		off += int64(len(fr.Raw))
+	}
+	l.st.WALBytes = off
+	f := l.f
+	end := l.st.WALBytes
+	gen := l.gen
+	l.inflight.Add(1)
+	l.mu.Unlock()
+	cerr := l.store.gc.commit(f)
+	l.inflight.Done()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if cerr != nil {
+		l.poisonLocked(fmt.Errorf("store: log of %s unusable after failed sync: %w", l.id, cerr))
+		return fmt.Errorf("store: committing log of %s: %w", l.id, cerr)
+	}
+	if l.err != nil {
+		return l.err
+	}
+	if gen == l.gen && end > l.durable {
+		l.durable = end
+	} else if gen != l.gen {
+		// A compaction raced the commit and rewrote the file under a new
+		// layout; our offsets describe the old one. Rescan to make the
+		// counters truthful again.
+		if _, err := l.scan(nil); err != nil {
+			return err
+		}
+		l.f.Seek(l.st.WALBytes, 0)
+	}
+	l.signalLocked()
+	return nil
+}
+
+// ResetFrames atomically replaces the log's entire content with frames
+// (written to a temp file, fsync'd, renamed over the log — the same
+// crash discipline as Compact). The follower-side answer to a reset
+// shipment: its copy diverged or fell behind the leader's compaction
+// horizon, so the shipped prefix becomes the new truth.
+func (l *Log) ResetFrames(frames []Frame) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return fmt.Errorf("store: log of %s is closed", l.id)
+	}
+	if l.err != nil {
+		return l.err
+	}
+	var buf []byte
+	sc := &FrameScanner{}
+	for i, fr := range frames {
+		rec, err := parseFrame(trimNewline(fr.Raw))
+		if err != nil {
+			return fmt.Errorf("store: reset frame %d of %s: %w", i, l.id, err)
+		}
+		if sc.started && rec.Seq != sc.lastSeq+1 {
+			return fmt.Errorf("store: reset frame %d of %s has seq %d, want %d", i, l.id, rec.Seq, sc.lastSeq+1)
+		}
+		sc.started, sc.lastSeq = true, rec.Seq
+		buf = append(buf, fr.Raw...)
+	}
+	tmpPath := l.path + ".tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating reset file of %s: %w", l.id, err)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: writing reset file of %s: %w", l.id, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: syncing reset file of %s: %w", l.id, err)
+	}
+	if err := os.Rename(tmpPath, l.path); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: renaming reset file of %s: %w", l.id, err)
+	}
+	l.store.syncDir()
+	old := l.f
+	l.f = tmp
+	l.inflight.Wait()
+	old.Close()
+	l.gen++
+	if _, err := l.scan(nil); err != nil {
+		l.poisonLocked(err)
+		return err
+	}
+	if _, err := l.f.Seek(l.st.WALBytes, 0); err != nil {
+		err = fmt.Errorf("store: seeking reset log of %s: %w", l.id, err)
+		l.poisonLocked(err)
+		return err
+	}
+	l.signalLocked()
+	return nil
+}
+
+// trimNewline strips the trailing frame terminator for parseFrame.
+func trimNewline(line []byte) []byte {
+	if n := len(line); n > 0 && line[n-1] == '\n' {
+		return line[:n-1]
+	}
+	return line
+}

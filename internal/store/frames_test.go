@@ -1,0 +1,303 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// buildFrames renders n sequential op frames starting at seq 1.
+func buildFrames(n int) []byte {
+	var buf bytes.Buffer
+	for i := 1; i <= n; i++ {
+		buf.Write(frame(uint64(i), OpDeltas, []byte(fmt.Sprintf(`{"i":%d}`, i))))
+	}
+	return buf.Bytes()
+}
+
+// TestFrameScannerAgreesWithRecovery is the shared-parser regression
+// test: a log whose final frame is cut mid-record must be truncated at
+// the same byte by boot recovery (Log.scan) and by the public
+// FrameScanner — the two consumers of the w1 format can never disagree
+// on where the verified prefix ends.
+func TestFrameScannerAgreesWithRecovery(t *testing.T) {
+	whole := buildFrames(5)
+	// Cut the last frame in half: a torn final write.
+	lines := bytes.SplitAfter(whole, []byte("\n"))
+	goodLen := 0
+	for _, l := range lines[:4] {
+		goodLen += len(l)
+	}
+	torn := append([]byte(nil), whole[:goodLen+7]...)
+
+	// Path 1: the public scanner.
+	sc := NewFrameScanner(bytes.NewReader(torn))
+	var got []Frame
+	var scanErr error
+	for {
+		fr, err := sc.Next()
+		if err != nil {
+			scanErr = err
+			break
+		}
+		got = append(got, fr)
+	}
+	if !errors.Is(scanErr, ErrTornFrame) {
+		t.Fatalf("scanner error = %v, want ErrTornFrame", scanErr)
+	}
+	if len(got) != 4 || sc.Offset() != int64(goodLen) {
+		t.Fatalf("scanner kept %d frames / %d bytes, want 4 / %d", len(got), sc.Offset(), goodLen)
+	}
+
+	// Path 2: boot recovery over the same bytes on disk.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "t.wal"), torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	l, err := s.Log("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := l.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Tail) != 4 {
+		t.Fatalf("recovery replays %d records, want 4", len(rec.Tail))
+	}
+	if st := l.Stats(); st.WALBytes != int64(goodLen) {
+		t.Fatalf("recovery kept %d bytes, want %d", st.WALBytes, goodLen)
+	}
+	// The damaged tail must be physically gone (openLog truncates it
+	// before the log can be appended to).
+	if fi, err := os.Stat(filepath.Join(dir, "t.wal")); err != nil || fi.Size() != int64(goodLen) {
+		t.Fatalf("on-disk log is %v bytes, want %d (err=%v)", fi.Size(), goodLen, err)
+	}
+	for i, r := range rec.Tail {
+		if r.Seq != got[i].Seq || r.Op != got[i].Op || !bytes.Equal(r.Payload, got[i].Payload) {
+			t.Fatalf("record %d differs between scanner and recovery: %+v vs %+v", i, got[i].Record, r)
+		}
+	}
+}
+
+// TestFrameScannerRejectsDamage covers the scanner's acceptance rules
+// one by one: CRC damage, version drift, and sequence gaps all stop the
+// scan with ErrTornFrame.
+func TestFrameScannerRejectsDamage(t *testing.T) {
+	mangle := func(name string, f func([]byte) []byte, wantFrames int) {
+		t.Run(name, func(t *testing.T) {
+			data := f(buildFrames(3))
+			sc := NewFrameScanner(bytes.NewReader(data))
+			n := 0
+			for {
+				_, err := sc.Next()
+				if err == io.EOF {
+					t.Fatalf("scan ended cleanly after %d frames, want ErrTornFrame", n)
+				}
+				if err != nil {
+					if !errors.Is(err, ErrTornFrame) {
+						t.Fatalf("error = %v, want ErrTornFrame", err)
+					}
+					break
+				}
+				n++
+			}
+			if n != wantFrames {
+				t.Fatalf("verified %d frames, want %d", n, wantFrames)
+			}
+		})
+	}
+	mangle("crc-flip", func(b []byte) []byte {
+		// Flip one payload byte of the second frame.
+		lines := bytes.SplitAfter(b, []byte("\n"))
+		lines[1][len(lines[1])-3] ^= 1
+		return bytes.Join(lines, nil)
+	}, 1)
+	mangle("version-drift", func(b []byte) []byte {
+		lines := bytes.SplitAfter(b, []byte("\n"))
+		lines[2] = append([]byte("w9"), lines[2][2:]...)
+		return bytes.Join(lines, nil)
+	}, 2)
+	mangle("seq-gap", func(b []byte) []byte {
+		lines := bytes.SplitAfter(b, []byte("\n"))
+		lines[2] = frame(7, OpDeltas, []byte(`{"i":7}`)) // 3 expected
+		return bytes.Join(lines, nil)
+	}, 2)
+}
+
+// TestFramesSinceAndAppendFrames ships frames from one log into
+// another and asserts the follower file is byte-identical, stats are
+// primed, and a subsequent incremental shipment extends it.
+func TestFramesSinceAndAppendFrames(t *testing.T) {
+	leaderDir, followerDir := t.TempDir(), t.TempDir()
+	ls, _ := Open(leaderDir)
+	fs, _ := Open(followerDir)
+	defer ls.Close()
+	defer fs.Close()
+	ll, err := ls.Log("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := ll.Append(OpDeltas, []byte(fmt.Sprintf(`{"i":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	frames, reset, err := ll.FramesSince(0)
+	if err != nil || reset || len(frames) != 3 {
+		t.Fatalf("FramesSince(0) = %d frames, reset=%v, err=%v", len(frames), reset, err)
+	}
+	fl, err := fs.Log("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.AppendFrames(frames); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fl.Stats().Seq, ll.Stats().Seq; got != want {
+		t.Fatalf("follower seq %d, want %d", got, want)
+	}
+
+	// Incremental tail: two more records, shipped after=3.
+	ll.Append(OpFeedback, []byte(`{"fb":1}`))
+	ll.Append(OpDeltas, []byte(`{"i":5}`))
+	frames, reset, err = ll.FramesSince(3)
+	if err != nil || reset || len(frames) != 2 {
+		t.Fatalf("FramesSince(3) = %d frames, reset=%v, err=%v", len(frames), reset, err)
+	}
+	if err := fl.AppendFrames(frames); err != nil {
+		t.Fatal(err)
+	}
+	lb, _ := os.ReadFile(filepath.Join(leaderDir, "s1.wal"))
+	fb, _ := os.ReadFile(filepath.Join(followerDir, "s1.wal"))
+	if !bytes.Equal(lb, fb) {
+		t.Fatal("follower log is not byte-identical to the leader log")
+	}
+	if fl.Stats().OpsSinceCheckpoint != ll.Stats().OpsSinceCheckpoint {
+		t.Fatalf("follower gauges diverge: %+v vs %+v", fl.Stats(), ll.Stats())
+	}
+
+	// A gap must be refused, not spliced.
+	bad := []Frame{{Record: Record{Seq: 99}, Raw: frame(99, OpDeltas, []byte(`{}`))}}
+	if err := fl.AppendFrames(bad); err == nil {
+		t.Fatal("AppendFrames accepted a sequence gap")
+	}
+}
+
+// TestFramesSinceResetAfterCompaction pins the reset contract: a
+// follower whose position predates the leader's compaction horizon
+// receives the whole compacted log flagged reset, and ResetFrames
+// adopts it atomically.
+func TestFramesSinceResetAfterCompaction(t *testing.T) {
+	leaderDir, followerDir := t.TempDir(), t.TempDir()
+	ls, _ := Open(leaderDir)
+	fs, _ := Open(followerDir)
+	defer ls.Close()
+	defer fs.Close()
+	ll, _ := ls.Log("s1")
+	for i := 1; i <= 4; i++ {
+		ll.Append(OpDeltas, []byte(fmt.Sprintf(`{"i":%d}`, i)))
+	}
+	// Follower catches up to seq 2 only.
+	frames, _, _ := ll.FramesSince(0)
+	fl, _ := fs.Log("s1")
+	if err := fl.AppendFrames(frames[:2]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Leader checkpoints at seq 5 and compacts: everything before the
+	// checkpoint is gone, and the follower's position (2) predates it.
+	if err := ll.Append(OpCheckpoint, []byte(fmt.Sprintf(`{"at":%q}`, time.Now().UTC().Format(time.RFC3339)))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ll.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	ll.Append(OpDeltas, []byte(`{"i":6}`))
+
+	frames, reset, err := ll.FramesSince(2)
+	if err != nil || !reset {
+		t.Fatalf("FramesSince past compaction: reset=%v err=%v", reset, err)
+	}
+	if frames[0].Seq != 5 || frames[0].Op != OpCheckpoint {
+		t.Fatalf("reset shipment starts at %d/%v, want the checkpoint at 5", frames[0].Seq, frames[0].Op)
+	}
+	if err := fl.ResetFrames(frames); err != nil {
+		t.Fatal(err)
+	}
+	lb, _ := os.ReadFile(filepath.Join(leaderDir, "s1.wal"))
+	fb, _ := os.ReadFile(filepath.Join(followerDir, "s1.wal"))
+	if !bytes.Equal(lb, fb) {
+		t.Fatal("follower log after reset is not byte-identical to the leader log")
+	}
+	if fl.Stats().Seq != 6 {
+		t.Fatalf("follower seq after reset = %d, want 6", fl.Stats().Seq)
+	}
+
+	// Divergence the other way: a caller ahead of the log gets reset.
+	if _, reset, _ := ll.FramesSince(99); !reset {
+		t.Fatal("FramesSince ahead of the log did not flag reset")
+	}
+}
+
+// TestLogWaitWakesOnAppend covers the tail-follow contract: Wait's
+// channel is closed by a durable append, including the replicated
+// AppendFrames path, and the arm-then-recheck idiom never sleeps
+// through a racing append.
+func TestLogWaitWakesOnAppend(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	defer s.Close()
+	l, _ := s.Log("w")
+
+	ch := l.Wait()
+	select {
+	case <-ch:
+		t.Fatal("Wait fired before any append")
+	default:
+	}
+	done := make(chan error, 1)
+	go func() { done <- l.Append(OpDeltas, []byte(`{"i":1}`)) }()
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait did not wake on append")
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// The next Wait arms a fresh channel.
+	ch2 := l.Wait()
+	select {
+	case <-ch2:
+		t.Fatal("fresh Wait channel already closed")
+	default:
+	}
+	frames, _, err := l.FramesSince(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := Open(t.TempDir())
+	defer s2.Close()
+	l2, _ := s2.Log("w")
+	ch3 := l2.Wait()
+	if err := l2.AppendFrames(frames); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch3:
+	default:
+		t.Fatal("AppendFrames did not signal Wait")
+	}
+}

@@ -1,11 +1,12 @@
 package store
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -79,6 +80,9 @@ type Log struct {
 	// could sync a closed fd and fail an append whose record is, in
 	// fact, durable in the compacted file.
 	inflight sync.WaitGroup
+	// notify, when non-nil, is closed at the next durable append so
+	// tail followers (Wait) wake without polling.
+	notify chan struct{}
 }
 
 // openLog opens (or creates) the log file and primes counters from its
@@ -148,62 +152,63 @@ func parseFrame(line []byte) (Record, error) {
 	return Record{Seq: seq, Op: Op(opNum), Payload: append(json.RawMessage(nil), payload...)}, nil
 }
 
-// scan reads the log from the start, verifying every frame, priming the
-// counters, and truncating the file at the first damaged frame (a torn
-// final write after a hard kill; anything further back is real
-// corruption, and truncating there keeps the longest verified prefix —
-// the only state recovery can vouch for). When emit is non-nil it
-// receives every verified record in order. Call with l.mu held (or
-// before the log escapes openLog).
+// noteRecordLocked folds one record into the gauge counters; off is
+// the byte offset of the record's frame. Shared by the boot/recovery
+// scan, Append, and the replication AppendFrames path so the three
+// never disagree on what a checkpoint or marker means. Call with l.mu
+// held.
+func (l *Log) noteRecordLocked(rec Record, off int64) {
+	switch rec.Op {
+	case OpCheckpoint:
+		l.ckptOff = off
+		l.st.OpsSinceCheckpoint = 0
+		var meta struct {
+			At time.Time `json:"at"`
+		}
+		json.Unmarshal(rec.Payload, &meta)
+		l.st.LastCheckpointAt = meta.At
+	case OpRelearn, OpRemove:
+		// Markers and tombstones are not replayable operations.
+	default:
+		l.st.OpsSinceCheckpoint++
+	}
+}
+
+// scan reads the log from the start, verifying every frame through the
+// shared FrameScanner, priming the counters, and truncating the file at
+// the first damaged frame (a torn final write after a hard kill;
+// anything further back is real corruption, and truncating there keeps
+// the longest verified prefix — the only state recovery can vouch for).
+// When emit is non-nil it receives every verified record in order. Call
+// with l.mu held (or before the log escapes openLog).
 func (l *Log) scan(emit func(Record) error) (truncated bool, err error) {
 	if _, err := l.f.Seek(0, 0); err != nil {
 		return false, fmt.Errorf("store: seeking log of %s: %w", l.id, err)
 	}
 	l.st = Stats{}
 	l.ckptOff = -1
-	var off int64
-	started := false
-	r := bufio.NewReaderSize(l.f, 1<<16)
+	sc := NewFrameScanner(l.f)
 	for {
-		line, err := r.ReadBytes('\n')
-		if len(line) == 0 && err != nil {
+		fr, serr := sc.Next()
+		if serr == io.EOF {
 			break // clean EOF
 		}
-		if err != nil {
-			truncated = true // unterminated final line: torn write
-			break
-		}
-		rec, perr := parseFrame(line[:len(line)-1])
-		// The first frame may carry any sequence number (compaction
-		// preserves the original numbering, so a compacted log starts
-		// mid-sequence); after that, density is required.
-		if perr != nil || (started && rec.Seq != l.st.Seq+1) {
+		if serr != nil {
+			if !errors.Is(serr, ErrTornFrame) {
+				return false, fmt.Errorf("store: scanning log of %s: %w", l.id, serr)
+			}
 			truncated = true
 			break
 		}
-		started = true
 		if emit != nil {
-			if err := emit(rec); err != nil {
+			if err := emit(fr.Record); err != nil {
 				return false, err
 			}
 		}
-		l.st.Seq = rec.Seq
-		switch rec.Op {
-		case OpCheckpoint:
-			l.ckptOff = off
-			l.st.OpsSinceCheckpoint = 0
-			var meta struct {
-				At time.Time `json:"at"`
-			}
-			json.Unmarshal(rec.Payload, &meta)
-			l.st.LastCheckpointAt = meta.At
-		case OpRelearn, OpRemove:
-			// Markers and tombstones are not replayable operations.
-		default:
-			l.st.OpsSinceCheckpoint++
-		}
-		off += int64(len(line))
+		l.st.Seq = fr.Seq
+		l.noteRecordLocked(fr.Record, sc.Offset()-int64(len(fr.Raw)))
 	}
+	off := sc.Offset()
 	if truncated {
 		if err := l.f.Truncate(off); err != nil {
 			return true, fmt.Errorf("store: truncating damaged tail of %s: %w", l.id, err)
@@ -256,19 +261,7 @@ func (l *Log) Append(op Op, payload any) error {
 	}
 	l.st.Seq++
 	l.st.WALBytes += int64(len(rec))
-	switch op {
-	case OpCheckpoint:
-		l.ckptOff = l.st.WALBytes - int64(len(rec))
-		l.st.OpsSinceCheckpoint = 0
-		var meta struct {
-			At time.Time `json:"at"`
-		}
-		json.Unmarshal(body, &meta)
-		l.st.LastCheckpointAt = meta.At
-	case OpRelearn, OpRemove:
-	default:
-		l.st.OpsSinceCheckpoint++
-	}
+	l.noteRecordLocked(Record{Seq: l.st.Seq, Op: op, Payload: body}, prev)
 	f := l.f
 	end := l.st.WALBytes
 	gen := l.gen
@@ -302,6 +295,7 @@ func (l *Log) Append(op Op, payload any) error {
 		// the previous layout must not move it.
 		l.durable = end
 	}
+	l.signalLocked()
 	return nil
 }
 

@@ -31,6 +31,22 @@ type SessionInfo struct {
 	// Store reports the session's write-ahead-log gauges; absent when
 	// the server runs without a durable store.
 	Store *SessionStoreInfo `json:"store,omitempty"`
+	// Replication reports the session's role on this node; absent
+	// outside cluster mode.
+	Replication *ReplicationInfo `json:"replication,omitempty"`
+}
+
+// ReplicationInfo is one session's replication role on the answering
+// node (cluster mode only).
+type ReplicationInfo struct {
+	// Role is "leader" (this node serves writes) or "replica" (this
+	// node mirrors the leader's WAL and serves reads).
+	Role string `json:"role"`
+	// Leader is the advertised URL of the session's current leader.
+	Leader string `json:"leader,omitempty"`
+	// AppliedSeq is the last record durable in this node's copy of the
+	// session's log.
+	AppliedSeq uint64 `json:"applied_seq"`
 }
 
 // SessionStoreInfo is the operator view of one session's operation log
@@ -251,6 +267,49 @@ type HealthResponse struct {
 	MaxComponentFrac float64 `json:"max_component_frac,omitempty"`
 	// Store aggregates the durable store's gauges; absent without one.
 	Store *StoreHealth `json:"store,omitempty"`
+	// Cluster reports this node's replication state; absent outside
+	// cluster mode.
+	Cluster *ClusterHealth `json:"cluster,omitempty"`
+}
+
+// ClusterHealth is the /healthz replication section: who this node is,
+// what it leads and mirrors, and how far replication lags on both
+// sides of the wire.
+type ClusterHealth struct {
+	Enabled bool `json:"enabled"`
+	// Self is this node's advertised URL; Peers the full static ring.
+	Self  string   `json:"self"`
+	Peers []string `json:"peers"`
+	// Leading and Mirroring count the tenants this node serves writes
+	// for and stands by for, respectively.
+	Leading   int `json:"leading"`
+	Mirroring int `json:"mirroring"`
+	// Following maps each mirrored tenant to how far this node's copy
+	// trails its leader (the follower-side lag gauges).
+	Following map[string]ReplicaLagInfo `json:"following,omitempty"`
+	// Followers maps each led tenant to the followers seen polling its
+	// tail and how far behind each was at its last poll (the
+	// leader-side view).
+	Followers map[string][]FollowerInfo `json:"followers,omitempty"`
+}
+
+// ReplicaLagInfo is the follower-side lag on one mirrored tenant.
+type ReplicaLagInfo struct {
+	Leader     string `json:"leader"`
+	AppliedSeq uint64 `json:"applied_seq"`
+	LeaderSeq  uint64 `json:"leader_seq"`
+	// Ops and Bytes are how far the local durable copy trails the
+	// leader's log, in operations and bytes (0 when caught up).
+	Ops   int64 `json:"ops"`
+	Bytes int64 `json:"bytes"`
+}
+
+// FollowerInfo is the leader-side view of one follower on one tenant.
+type FollowerInfo struct {
+	URL        string `json:"url"`
+	AppliedSeq uint64 `json:"applied_seq"`
+	Ops        int64  `json:"ops"`
+	Bytes      int64  `json:"bytes"`
 }
 
 // StoreHealth is the server-wide durable-store summary of /healthz:

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -10,8 +11,11 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
+	"holoclean/internal/cluster"
 	"holoclean/internal/datagen"
+	"holoclean/internal/store"
 )
 
 // BenchmarkServeReclean measures request→response latency of one
@@ -37,7 +41,71 @@ func BenchmarkServeRecleanDurable(b *testing.B) {
 	})
 }
 
+// BenchmarkServeRecleanReplicated is the durable path with the
+// replication tier on top: the benched server runs as a cluster
+// leader while a follower mirrors its WAL over the long-poll stream —
+// every delta batch is fetched, CRC-verified, and fsync'd into the
+// follower's own store as the benchmark runs. The delta vs
+// BenchmarkServeRecleanDurable is the leader-side cost of replication
+// (serving tail polls, streaming frames, follower bookkeeping) —
+// tracked in CI via BENCH_serve.json with a <15% ns/op target. The
+// follower here is a log mirror (shipper + store, the replication data
+// plane), not a second warm Server: warming the standby's session
+// replays the pipeline on the standby machine's CPU, which on a
+// single benchmark host would just measure the pipeline twice.
+func BenchmarkServeRecleanReplicated(b *testing.B) {
+	b.ReportAllocs()
+	// The peer list must exist before the server does: bind the
+	// listener first, then start the leader behind it. The standby URL
+	// only needs to occupy a ring position; its puller below dials the
+	// leader, never the reverse.
+	leaderTS := httptest.NewUnstartedServer(http.NotFoundHandler())
+	leaderURL := "http://" + leaderTS.Listener.Addr().String()
+	standbyURL := "http://127.0.0.1:0"
+
+	leader, err := New(Config{
+		Workers: 1, MaxConcurrentJobs: 1, QueueDepth: 4,
+		StoreDir: b.TempDir(), Self: leaderURL, Peers: []string{leaderURL, standbyURL},
+		ShipInterval: time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	leaderTS.Config.Handler = leader
+	leaderTS.Start()
+	defer leaderTS.Close()
+	defer leader.Close()
+
+	st, err := store.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sh, err := cluster.NewShipper(cluster.ShipperConfig{
+		Leader: leaderURL, Self: standbyURL, Store: st,
+		Interval: 20 * time.Millisecond, WaitMS: 1000,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go sh.Run(ctx)
+
+	benchServeRecleanServer(b, leaderTS)
+}
+
 func benchServeReclean(b *testing.B, cfg Config) {
+	sv, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(sv)
+	defer ts.Close()
+	defer sv.Close()
+	benchServeRecleanServer(b, ts)
+}
+
+func benchServeRecleanServer(b *testing.B, ts *httptest.Server) {
 	g := datagen.Hospital(datagen.Config{Tuples: 1000, Seed: 1})
 	var csvBuf bytes.Buffer
 	if err := g.Dirty.WriteCSV(&csvBuf); err != nil {
@@ -47,13 +115,6 @@ func benchServeReclean(b *testing.B, cfg Config) {
 	for _, c := range g.Constraints {
 		fmt.Fprintf(&dcs, "%s: %s\n", c.Name, c.String())
 	}
-	sv, err := New(cfg)
-	if err != nil {
-		b.Fatal(err)
-	}
-	ts := httptest.NewServer(sv)
-	defer ts.Close()
-	defer sv.Close()
 
 	body, err := json.Marshal(CreateRequest{CSV: csvBuf.String(), Constraints: dcs.String(), Seed: 1})
 	if err != nil {

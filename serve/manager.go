@@ -90,6 +90,18 @@ type tenant struct {
 	applied      map[string]bool
 	appliedOrder []string
 
+	// replica marks a tenant this node mirrors rather than leads
+	// (cluster mode): reads serve locally, writes redirect to the
+	// leader, and the mirrored log is never checkpointed or compacted
+	// here — its layout belongs to the leader. Atomic because handlers
+	// and the shipper hooks read it without any lock; flipped by
+	// promotion/migration.
+	replica atomic.Bool
+	// walSeq is the sequence number of the last record applied to the
+	// warm replica session (guarded by mu); promotion rebuilds from the
+	// log when it trails the durable position.
+	walSeq uint64
+
 	resMu sync.RWMutex
 	last  *holoclean.Result
 	// csv is the repaired relation rendered at publish time. It exists
@@ -227,9 +239,17 @@ func (sv *Server) register(t *tenant) {
 }
 
 // nextID mints a session id. Ids are dense and deterministic ("s1",
-// "s2", …) so transcripts and tests are reproducible.
+// "s2", …) so transcripts and tests are reproducible. In cluster mode
+// only ids the ring places on this node are minted — creates never
+// redirect, and since ownership partitions the id space, two nodes can
+// never mint the same id.
 func (sv *Server) nextID() string {
-	return fmt.Sprintf("s%d", sv.idSeq.Add(1))
+	for {
+		id := fmt.Sprintf("s%d", sv.idSeq.Add(1))
+		if sv.ring == nil || sv.ring.Owner(id) == sv.cfg.Self {
+			return id
+		}
+	}
 }
 
 // remove deletes a tenant and its on-disk state (WAL segment or
@@ -276,7 +296,7 @@ func (sv *Server) list() []SessionInfo {
 	sv.mu.Unlock()
 	out := make([]SessionInfo, 0, len(tenants))
 	for _, t := range tenants {
-		out = append(out, t.info())
+		out = append(out, sv.sessionInfo(t))
 	}
 	// Minted ids are a dense numeric sequence; order by the number so
 	// s2 sorts before s10 (creation order), not lexically after it.
@@ -402,7 +422,11 @@ func (sv *Server) evictLocked(t *tenant) error {
 		// successful reclean returns it to a steady state.
 		return fmt.Errorf("session has %d tuples with staged mutations", t.session.PendingMutations())
 	}
-	if t.log != nil {
+	if t.replica.Load() {
+		// A mirror's durable truth is the shipped log; checkpointing or
+		// compacting it here would diverge from the leader's layout. Just
+		// release the warm state — reads restore from the log.
+	} else if t.log != nil {
 		// Store mode: the snapshot is a checkpoint record; compaction
 		// immediately drops the now-redundant history before it.
 		if err := sv.checkpointLocked(t); err != nil {

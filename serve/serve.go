@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"holoclean"
+	"holoclean/internal/cluster"
 	"holoclean/internal/store"
 )
 
@@ -104,6 +105,23 @@ type Config struct {
 	CompactEvery time.Duration
 	// MaxUploadBytes caps request bodies (default 32 MiB).
 	MaxUploadBytes int64
+	// Self is this node's advertised base URL (e.g.
+	// "http://10.0.0.1:8080"), required in cluster mode; peers redirect
+	// writes and ship WAL frames to it.
+	Self string
+	// Peers is the full static peer list — every node's advertised URL,
+	// including Self, identical on all nodes. Setting it enables cluster
+	// mode: tenants are placed on a consistent-hash ring, each node
+	// mirrors the logs of tenants it stands by for (WAL shipping), and
+	// writes landing on a non-leader answer 307 to the leader. Requires
+	// StoreDir.
+	Peers []string
+	// ShipInterval is the shippers' catalog poll period and error
+	// backoff (default 250ms).
+	ShipInterval time.Duration
+	// ShipWaitMS is the long-poll budget shippers ask leaders to hold a
+	// tail request open for (default 5000).
+	ShipWaitMS int
 	// Logf receives operational log lines; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -123,6 +141,16 @@ type Server struct {
 	draining atomic.Bool
 	stop     chan struct{}
 	stopOnce sync.Once
+
+	// Cluster mode (nil/empty outside it): the placement ring, one WAL
+	// shipper per other peer, the route-override map consulted before
+	// the ring, and the leader-side record of follower positions.
+	ring      *cluster.Ring
+	shippers  []*cluster.Shipper
+	routeMu   sync.RWMutex
+	routeTo   map[string]string
+	followMu  sync.Mutex
+	followers map[string]map[string]followerView
 }
 
 // New builds a Server from cfg, recovers the durable store (when
@@ -164,6 +192,13 @@ func New(cfg Config) (*Server, error) {
 		stop:     make(chan struct{}),
 	}
 	sv.routes()
+	if len(cfg.Peers) > 0 {
+		// The ring must exist before the store is recovered, so boot can
+		// tell which recovered logs this node leads and which it mirrors.
+		if err := sv.startCluster(); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.StoreDir != "" {
 		st, err := store.Open(cfg.StoreDir)
 		if err != nil {
@@ -174,6 +209,9 @@ func New(cfg Config) (*Server, error) {
 		go sv.compactor(sv.stop)
 	} else if cfg.SnapshotDir != "" {
 		sv.loadSnapshots()
+	}
+	if sv.ring != nil {
+		sv.startShippers()
 	}
 	if cfg.IdleTimeout > 0 {
 		go sv.janitor(sv.stop)
@@ -232,7 +270,7 @@ func (sv *Server) Shutdown(ctx context.Context) error {
 			return ctx.Err()
 		}
 		t.mu.Lock()
-		if t.session != nil && t.log != nil {
+		if t.session != nil && t.log != nil && !t.replica.Load() {
 			if err := sv.checkpointLocked(t); err != nil {
 				sv.logf("serve: shutdown checkpoint of %s: %v", t.id, err)
 			} else if _, err := t.log.Compact(); err != nil {
@@ -292,6 +330,16 @@ func (sv *Server) routes() {
 	mux.HandleFunc("POST /sessions/{id}/deltas", sv.handleDeltas)
 	mux.HandleFunc("GET /sessions/{id}/review", sv.handleReview)
 	mux.HandleFunc("POST /sessions/{id}/feedback", sv.handleFeedback)
+	// Replication protocol (leader side) and cluster control. The
+	// /replicate handlers never claim a job slot, so a draining leader
+	// keeps streaming its tail while refusing writes.
+	mux.HandleFunc("GET "+cluster.PathLogs, sv.handleReplicateLogs)
+	mux.HandleFunc("GET "+cluster.PathWAL+"{id}", sv.handleReplicateWAL)
+	mux.HandleFunc("POST "+cluster.PathAccept+"{id}", sv.handleReplicateAccept)
+	mux.HandleFunc("POST /cluster/promote/{id}", sv.handlePromote)
+	mux.HandleFunc("POST /cluster/route/{id}", sv.handleRoute)
+	mux.HandleFunc("POST /cluster/migrate/{id}", sv.handleMigrate)
+	mux.HandleFunc("POST /cluster/demote", sv.handleDemote)
 	sv.mux = mux
 }
 
@@ -336,10 +384,15 @@ func (sv *Server) acquireOr(w http.ResponseWriter, r *http.Request) (release fun
 	return nil, false
 }
 
-// tenantOr404 resolves {id} and stamps activity.
+// tenantOr404 resolves {id} and stamps activity. In cluster mode a
+// tenant this node holds no copy of is redirected to its leader
+// instead of 404ing.
 func (sv *Server) tenantOr404(w http.ResponseWriter, r *http.Request) *tenant {
 	t := sv.lookup(r.PathValue("id"))
 	if t == nil {
+		if sv.redirectRead(w, r, r.PathValue("id")) {
+			return nil
+		}
 		writeError(w, http.StatusNotFound, "no session %q", r.PathValue("id"))
 		return nil
 	}
@@ -358,6 +411,7 @@ func (sv *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	sv.mu.Unlock()
 	resp := HealthResponse{OK: true, Sessions: n, Queued: int(sv.queued.Load()), Draining: sv.draining.Load()}
+	resp.Cluster = sv.clusterHealth(tenants)
 	for _, t := range tenants {
 		t.resMu.RLock()
 		if t.last != nil && t.last.Stats.LargestComponentFrac > resp.MaxComponentFrac {
@@ -389,10 +443,13 @@ func (sv *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if t == nil {
 		return
 	}
-	writeJSON(w, http.StatusOK, t.info())
+	writeJSON(w, http.StatusOK, sv.sessionInfo(t))
 }
 
 func (sv *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if sv.redirectWrite(w, r, r.PathValue("id")) {
+		return
+	}
 	found, err := sv.remove(r.PathValue("id"))
 	if err != nil {
 		// The durable state survived the delete attempt: the session
@@ -531,7 +588,7 @@ func (sv *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	sv.register(t)
 	sv.logf("serve: created session %s (%d tuples, %d repairs)", t.id, ds.NumTuples(), len(res.Repairs))
-	writeJSON(w, http.StatusCreated, t.info())
+	writeJSON(w, http.StatusCreated, sv.sessionInfo(t))
 }
 
 // walFail reconciles a tenant whose WAL append failed after the
@@ -740,6 +797,9 @@ func validateDeltaOps(ops []DeltaOp, tuples, attrs int) error {
 }
 
 func (sv *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
+	if sv.redirectWrite(w, r, r.PathValue("id")) {
+		return
+	}
 	t := sv.tenantOr404(w, r)
 	if t == nil {
 		return
@@ -828,6 +888,9 @@ func (sv *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 }
 
 func (sv *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	if sv.redirectWrite(w, r, r.PathValue("id")) {
+		return
+	}
 	t := sv.tenantOr404(w, r)
 	if t == nil {
 		return

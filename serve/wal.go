@@ -175,7 +175,7 @@ func (sv *Server) checkpointLocked(t *tenant) error {
 // work. Failure is logged, not fatal: the ops are already durable
 // individually, a checkpoint only shortens recovery.
 func (sv *Server) maybeCheckpoint(t *tenant) {
-	if t.log == nil || t.session == nil || t.session.PendingMutations() > 0 {
+	if t.log == nil || t.session == nil || t.replica.Load() || t.session.PendingMutations() > 0 {
 		return
 	}
 	if t.log.Stats().OpsSinceCheckpoint < sv.cfg.CheckpointEvery {
@@ -279,6 +279,12 @@ func (sv *Server) recoverTenant(id string) (*tenant, error) {
 		return nil, nil
 	}
 	t := &tenant{id: id, created: time.Now(), log: l}
+	// In cluster mode a recovered log this node does not lead is a
+	// mirror: register it for reads and standby duty, but leave its
+	// layout to the leader (no checkpoint, no compaction). Route
+	// overrides are in-memory only, so boot placement is the ring's.
+	replica := sv.ring != nil && sv.ring.Owner(id) != sv.cfg.Self
+	t.replica.Store(replica)
 	if len(rec.Tail) == 0 {
 		// Clean checkpoint at the end: stay evicted, like a snapshot —
 		// the envelope header keeps the listing truthful without paying
@@ -294,13 +300,17 @@ func (sv *Server) recoverTenant(id string) (*tenant, error) {
 	if err := sv.replayTenant(t, rec); err != nil {
 		return nil, err
 	}
-	// Converge the log: the replayed tail becomes a fresh checkpoint and
-	// the pre-crash garbage is compacted away, so repeated crash loops
-	// cannot grow recovery time.
-	if err := sv.checkpointLocked(t); err != nil {
-		sv.logf("serve: post-recovery checkpoint of %s: %v", id, err)
-	} else if _, err := t.log.Compact(); err != nil {
-		sv.logf("serve: post-recovery compaction of %s: %v", id, err)
+	t.walSeq = t.log.Stats().Seq
+	if !replica {
+		// Converge the log: the replayed tail becomes a fresh checkpoint
+		// and the pre-crash garbage is compacted away, so repeated crash
+		// loops cannot grow recovery time. Mirrors skip this — their log
+		// layout is the leader's to manage.
+		if err := sv.checkpointLocked(t); err != nil {
+			sv.logf("serve: post-recovery checkpoint of %s: %v", id, err)
+		} else if _, err := t.log.Compact(); err != nil {
+			sv.logf("serve: post-recovery compaction of %s: %v", id, err)
+		}
 	}
 	sv.logf("serve: recovered session %s (replayed %d tail ops)", id, len(rec.Tail))
 	return t, nil
@@ -380,60 +390,92 @@ func (sv *Server) replayTenant(t *tenant, rec *store.Recovery) error {
 		tail = tail[1:]
 	}
 	for _, r := range tail {
-		switch r.Op {
-		case store.OpDeltas:
-			var p walDeltas
-			if err := json.Unmarshal(r.Payload, &p); err != nil {
-				return fmt.Errorf("decoding deltas record %d of %s: %w", r.Seq, t.id, err)
-			}
-			for _, op := range p.Ops {
-				var err error
-				switch op.Op {
-				case "upsert":
-					_, err = t.session.Upsert(op.Row, op.Values)
-				case "delete":
-					err = t.session.Delete(op.Row)
-				default:
-					err = fmt.Errorf("unknown op %q", op.Op)
-				}
-				if err != nil {
-					return fmt.Errorf("replaying deltas record %d of %s: %w", r.Seq, t.id, err)
-				}
-			}
-			var err error
-			if res, err = t.session.Reclean(); err != nil {
-				return fmt.Errorf("replaying reclean of record %d of %s: %w", r.Seq, t.id, err)
-			}
-			t.markApplied(p.OpID)
-		case store.OpFeedback:
-			var p walFeedback
-			if err := json.Unmarshal(r.Payload, &p); err != nil {
-				return fmt.Errorf("decoding feedback record %d of %s: %w", r.Seq, t.id, err)
-			}
-			fb, err := t.feedbackBatch(p.Items)
-			if err != nil {
-				return fmt.Errorf("replaying feedback record %d of %s: %w", r.Seq, t.id, err)
-			}
-			if res, err = t.session.Feedback(fb); err != nil {
-				return fmt.Errorf("replaying feedback record %d of %s: %w", r.Seq, t.id, err)
-			}
-			t.markApplied(p.OpID)
-		case store.OpOptions:
-			// Reserved (no mutating-options endpoint yet): adopt the
-			// recorded overrides so future logs replay faithfully.
-			var ov overrides
-			if err := json.Unmarshal(r.Payload, &ov); err != nil {
-				return fmt.Errorf("decoding options record %d of %s: %w", r.Seq, t.id, err)
-			}
-			t.ov = ov
-		case store.OpCreate:
-			return fmt.Errorf("unexpected mid-log create record %d of %s", r.Seq, t.id)
+		rr, err := sv.applyRecord(t, r)
+		if err != nil {
+			return err
+		}
+		if rr != nil {
+			res = rr
 		}
 	}
 	if res == nil {
 		return fmt.Errorf("recovered session %s has no result", t.id)
 	}
 	return t.setResult(res)
+}
+
+// applyRecord applies one logged operation to t's live session through
+// the exact code paths the live handlers use — shared by crash-recovery
+// replay and the replica warm-apply path, so a standby's state is
+// bit-identical to the leader's by the pipeline's determinism. Returns
+// the run result for records that reclean (deltas, feedback), nil for
+// markers. Call with t.mu held and t.session live.
+func (sv *Server) applyRecord(t *tenant, r store.Record) (*holoclean.Result, error) {
+	switch r.Op {
+	case store.OpDeltas:
+		var p walDeltas
+		if err := json.Unmarshal(r.Payload, &p); err != nil {
+			return nil, fmt.Errorf("decoding deltas record %d of %s: %w", r.Seq, t.id, err)
+		}
+		for _, op := range p.Ops {
+			var err error
+			switch op.Op {
+			case "upsert":
+				_, err = t.session.Upsert(op.Row, op.Values)
+			case "delete":
+				err = t.session.Delete(op.Row)
+			default:
+				err = fmt.Errorf("unknown op %q", op.Op)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("replaying deltas record %d of %s: %w", r.Seq, t.id, err)
+			}
+		}
+		res, err := t.session.Reclean()
+		if err != nil {
+			return nil, fmt.Errorf("replaying reclean of record %d of %s: %w", r.Seq, t.id, err)
+		}
+		t.markApplied(p.OpID)
+		return res, nil
+	case store.OpFeedback:
+		var p walFeedback
+		if err := json.Unmarshal(r.Payload, &p); err != nil {
+			return nil, fmt.Errorf("decoding feedback record %d of %s: %w", r.Seq, t.id, err)
+		}
+		fb, err := t.feedbackBatch(p.Items)
+		if err != nil {
+			return nil, fmt.Errorf("replaying feedback record %d of %s: %w", r.Seq, t.id, err)
+		}
+		res, err := t.session.Feedback(fb)
+		if err != nil {
+			return nil, fmt.Errorf("replaying feedback record %d of %s: %w", r.Seq, t.id, err)
+		}
+		t.markApplied(p.OpID)
+		return res, nil
+	case store.OpOptions:
+		// Reserved (no mutating-options endpoint yet): adopt the
+		// recorded overrides so future logs replay faithfully.
+		var ov overrides
+		if err := json.Unmarshal(r.Payload, &ov); err != nil {
+			return nil, fmt.Errorf("decoding options record %d of %s: %w", r.Seq, t.id, err)
+		}
+		t.ov = ov
+		return nil, nil
+	case store.OpCheckpoint:
+		// A checkpoint streaming past a live replica session carries no
+		// new state — the session already is that state — but its applied
+		// window tops up duplicate detection after the leader compacted.
+		var ck walCheckpoint
+		if err := json.Unmarshal(r.Payload, &ck); err == nil {
+			for _, opID := range ck.AppliedOps {
+				t.markApplied(opID)
+			}
+		}
+		return nil, nil
+	case store.OpCreate:
+		return nil, fmt.Errorf("unexpected mid-log create record %d of %s", r.Seq, t.id)
+	}
+	return nil, nil
 }
 
 // feedbackBatch maps wire feedback items (attributes by name) to
@@ -491,7 +533,10 @@ func (sv *Server) compactSweep() {
 	}
 	sv.mu.Unlock()
 	for _, t := range tenants {
-		if t.log == nil {
+		if t.log == nil || t.replica.Load() {
+			// A mirror's log layout belongs to its leader; local
+			// checkpoints or compaction would fork the byte-identical
+			// prefix the shipper maintains.
 			continue
 		}
 		if t.log.Stats().OpsSinceCheckpoint >= sv.cfg.CheckpointEvery {
