@@ -32,6 +32,14 @@
 //	-pprof ADDR      serve net/http/pprof on a separate listener, e.g.
 //	                 -pprof 127.0.0.1:6060 (off by default; never exposed
 //	                 on the main service address)
+//	-metrics         serve Prometheus-format telemetry at GET /metrics
+//	                 (default true): request latency and status classes
+//	                 per endpoint, job-queue gauges, per-stage pipeline
+//	                 histograms (detect, stats, ground, learn, infer,
+//	                 checkpoint), per-tenant reclean latency and
+//	                 shard-reuse, WAL append/fsync timings, and
+//	                 replication lag. -metrics=false disables the
+//	                 subsystem entirely and /metrics answers 404.
 //
 // Clustering (requires -store-dir):
 //
@@ -69,6 +77,7 @@ import (
 	"syscall"
 	"time"
 
+	"holoclean/internal/telemetry"
 	"holoclean/serve"
 )
 
@@ -101,6 +110,7 @@ func main() {
 		maxUpload   = flag.Int64("max-upload", 32<<20, "max request body bytes")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight jobs on SIGTERM/SIGINT")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
+		metricsOn   = flag.Bool("metrics", true, "serve Prometheus telemetry at GET /metrics (false = 404)")
 		self        = flag.String("self", "", "this node's advertised base URL in a cluster (e.g. http://10.0.0.1:8080)")
 		peers       = flag.String("peers", "", "comma-separated advertised URLs of all cluster nodes, including -self; enables WAL-shipping replication (requires -store-dir)")
 	)
@@ -140,6 +150,10 @@ func main() {
 			}
 		}
 	}
+	var reg *telemetry.Registry
+	if *metricsOn {
+		reg = telemetry.NewRegistry()
+	}
 	sv, err := serve.New(serve.Config{
 		Workers:           *workers,
 		IntraWorkers:      *intra,
@@ -152,6 +166,7 @@ func main() {
 		MaxUploadBytes:    *maxUpload,
 		Self:              strings.TrimRight(*self, "/"),
 		Peers:             peerList,
+		Telemetry:         reg,
 		Logf:              log.Printf,
 	})
 	if err != nil {

@@ -46,6 +46,7 @@ import (
 	"holoclean/internal/learn"
 	"holoclean/internal/partition"
 	"holoclean/internal/stats"
+	"holoclean/internal/telemetry"
 	"holoclean/internal/violation"
 )
 
@@ -253,6 +254,13 @@ type Options struct {
 	BoundaryDamp float64
 	// Seed drives every stochastic component.
 	Seed int64
+	// Tracer, when non-nil, receives per-stage durations (detect,
+	// ground, learn, infer, total) from every pipeline run; the serve
+	// tier points it at the /metrics histograms. A nil tracer is free:
+	// span calls are allocation-free no-ops, so the zero-alloc
+	// warmed-sweep guarantee is unaffected. Tracing never influences
+	// the computation — results stay byte-identical per seed.
+	Tracer *telemetry.Tracer
 }
 
 // DefaultOptions mirrors the paper's defaults: τ=0.5, the DC Feats
@@ -686,7 +694,9 @@ func (cl *Cleaner) clean(ds *Dataset, constraints []*Constraint, inc *incrementa
 		if lr == 0 {
 			lr = 0.1
 		}
+		spLearn := o.Tracer.Start("learn")
 		learn.Learn(learnG.Graph, learn.Config{Epochs: epochs, LearningRate: lr, L2: o.L2, Seed: o.Seed})
+		spLearn.End()
 		res.Stats.LearnTime = time.Since(tLearn)
 		learned = learnedWeights(learnG.Graph)
 		learnKeys = learnG.Graph.Weights.Keys
@@ -754,5 +764,11 @@ func (cl *Cleaner) clean(ds *Dataset, constraints []*Constraint, inc *incrementa
 	res.Repaired = repaired
 	mem.finish(&res.Stats)
 	res.Stats.TotalTime = time.Since(start)
+	if tr := o.Tracer; tr != nil {
+		tr.Observe("detect", res.Stats.DetectTime)
+		tr.Observe("ground", runner.groundTime)
+		tr.Observe("infer", runner.inferTime)
+		tr.Observe("total", res.Stats.TotalTime)
+	}
 	return res, &cleanArtifacts{prep: prep, shared: shared, interner: interner, runner: runner, plan: plan}, nil
 }

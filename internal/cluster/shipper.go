@@ -37,6 +37,11 @@ type ShipperConfig struct {
 	// Remove, when non-nil, runs when the leader no longer has a tenant
 	// (it was deleted or migrated away).
 	Remove func(id string) error
+	// ObserveLag, when non-nil, receives the tenant's lag after every
+	// shipping round — and a zero lag when the tenant is dropped — so
+	// the serving layer's telemetry gauges track replication without
+	// polling Lag() under this shipper's lock.
+	ObserveLag func(id string, ops, bytes int64)
 	// Interval is the catalog poll period and the error backoff
 	// (default 250ms). Individual tenant streams long-poll and do not
 	// wait on it.
@@ -272,6 +277,9 @@ func (s *Shipper) shipOnce(ctx context.Context, id string) (int, error) {
 	s.mu.Lock()
 	s.lags[id] = lag
 	s.mu.Unlock()
+	if s.cfg.ObserveLag != nil {
+		s.cfg.ObserveLag(id, lag.Ops, lag.Bytes)
+	}
 	if (len(frames) > 0 || reset) && s.cfg.Apply != nil {
 		if err := s.cfg.Apply(id, frames, reset); err != nil {
 			s.logf("cluster: warm apply of %s: %v", id, err)
@@ -285,6 +293,9 @@ func (s *Shipper) dropTenant(id string) {
 	s.mu.Lock()
 	delete(s.lags, id)
 	s.mu.Unlock()
+	if s.cfg.ObserveLag != nil {
+		s.cfg.ObserveLag(id, 0, 0)
+	}
 	if s.cfg.Remove != nil {
 		if err := s.cfg.Remove(id); err != nil {
 			s.logf("cluster: dropping %s: %v", id, err)

@@ -230,6 +230,10 @@ func (l *Log) scan(emit func(Record) error) (truncated bool, err error) {
 // write-ahead contract is the caller's: append before acknowledging,
 // and apply after appending.
 func (l *Log) Append(op Op, payload any) error {
+	if m := l.store.metrics.Load(); m != nil {
+		start := time.Now()
+		defer func() { m.AppendSeconds.Observe(time.Since(start).Seconds()) }()
+	}
 	body, err := encodePayload(payload)
 	if err != nil {
 		return fmt.Errorf("store: encoding %s payload: %w", op, err)

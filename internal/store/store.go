@@ -48,6 +48,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Op is the logical operation type of a record. The store only assigns
@@ -111,13 +113,40 @@ const (
 	tmpSuffix = ".wal.tmp"
 )
 
+// Observer receives measured values; the telemetry layer's histograms
+// satisfy it. The store depends only on this interface so it stays
+// free of any metrics package.
+type Observer interface {
+	Observe(v float64)
+}
+
+// Metrics are the store's optional instrumentation hooks. All fields
+// must be non-nil when installed via SetMetrics.
+type Metrics struct {
+	// AppendSeconds observes each Append's total latency, including
+	// the group-commit fsync wait.
+	AppendSeconds Observer
+	// FsyncSeconds observes every individual file Sync duration.
+	FsyncSeconds Observer
+	// CommitBatchSize observes, per drained group-commit batch, how
+	// many distinct log files it synced.
+	CommitBatchSize Observer
+}
+
 // Store manages the per-tenant logs of one directory.
 type Store struct {
-	dir string
-	gc  *groupCommitter
+	dir     string
+	gc      *groupCommitter
+	metrics atomic.Pointer[Metrics]
 
 	mu   sync.Mutex
 	logs map[string]*Log
+}
+
+// SetMetrics installs instrumentation hooks. Call it once, right after
+// Open, before traffic; a nil-field Metrics must not be installed.
+func (s *Store) SetMetrics(m Metrics) {
+	s.metrics.Store(&m)
 }
 
 // Open prepares dir as a session store, creating it if needed.
@@ -128,7 +157,9 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
 	}
-	return &Store{dir: dir, gc: newGroupCommitter(), logs: make(map[string]*Log)}, nil
+	s := &Store{dir: dir, gc: newGroupCommitter(), logs: make(map[string]*Log)}
+	s.gc.metrics = &s.metrics
+	return s, nil
 }
 
 // Dir returns the store's directory.
@@ -247,6 +278,9 @@ type groupCommitter struct {
 	mu      sync.Mutex
 	syncing bool
 	batch   *commitBatch
+	// metrics aliases the owning Store's hook slot; nil-loaded means
+	// uninstrumented.
+	metrics *atomic.Pointer[Metrics]
 }
 
 // commitBatch is one generation of waiters and their dirty files.
@@ -280,15 +314,26 @@ func (gc *groupCommitter) commit(f *os.File) error {
 		return b.errs[f]
 	}
 	gc.syncing = true
+	var m *Metrics
+	if gc.metrics != nil {
+		m = gc.metrics.Load()
+	}
 	var myErr error
 	mine := b
 	for {
 		gc.batch = nil
 		gc.mu.Unlock()
 		for file := range b.files {
+			start := time.Now()
 			if err := file.Sync(); err != nil {
 				b.errs[file] = err
 			}
+			if m != nil {
+				m.FsyncSeconds.Observe(time.Since(start).Seconds())
+			}
+		}
+		if m != nil {
+			m.CommitBatchSize.Observe(float64(len(b.files)))
 		}
 		if b == mine {
 			myErr = b.errs[f]

@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"unsafe"
+)
+
+// histShards is the number of independent counter arrays a histogram
+// spreads its updates over. Must be a power of two.
+const histShards = 8
+
+// LatencyBuckets is the default bucket layout for duration histograms
+// (unit: seconds): 1.25x geometric growth from 100µs to ~17s, so a
+// quantile read off the cumulative buckets is within 25% relative
+// error of the true value (tighter in practice because estimates
+// interpolate within the bucket).
+var LatencyBuckets = ExponentialBuckets(100e-6, 1.25, 55)
+
+// SizeBuckets is the default layout for count-valued histograms
+// (batch sizes, shard counts): powers of two from 1 to 8192.
+var SizeBuckets = ExponentialBuckets(1, 2, 14)
+
+// ExponentialBuckets returns n bucket upper bounds starting at start
+// and growing by factor each step.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start
+		start *= factor
+	}
+	return b
+}
+
+// Histogram counts observations into fixed upper-bound buckets
+// (ascending bounds, implicit +Inf overflow bucket) and tracks total
+// count and sum. Updates go to one of histShards independent atomic
+// arrays, picked by the caller's stack address, so concurrent
+// observers rarely share cache lines; reads aggregate across shards.
+// All methods are safe on a nil receiver.
+type Histogram struct {
+	bounds []float64
+	shards [histShards]histShard
+}
+
+type histShard struct {
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	// pad the shard structs apart so the count/sum hot words of
+	// neighbouring shards do not share a cache line.
+	_ [4]uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	h := &Histogram{bounds: bounds}
+	for i := range h.shards {
+		h.shards[i].counts = make([]atomic.Uint64, len(bounds)+1)
+	}
+	return h
+}
+
+// shardIndex picks a shard from the goroutine's stack address.
+// Different goroutines run on stacks allocated at distinct 8KiB+
+// regions, so shifting off the within-stack offset spreads concurrent
+// observers across shards; the choice only affects contention, never
+// aggregated values, so skew or stack moves are harmless.
+func shardIndex() int {
+	var probe byte
+	p := uintptr(unsafe.Pointer(&probe)) >> 13
+	return int((p ^ p>>3) & (histShards - 1))
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v, or len(bounds) for +Inf
+	sh := &h.shards[shardIndex()]
+	sh.counts[i].Add(1)
+	sh.count.Add(1)
+	for {
+		old := sh.sum.Load()
+		if sh.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for i := range h.shards {
+		total += h.shards[i].count.Load()
+	}
+	return total
+}
+
+// snapshot aggregates per-bucket counts (len(bounds)+1, non-
+// cumulative), total count, and sum across shards. The read is not
+// atomic with respect to concurrent Observe calls; like any Prometheus
+// scrape it sees some prefix of in-flight updates.
+func (h *Histogram) snapshot() (counts []uint64, count uint64, sum float64) {
+	counts = make([]uint64, len(h.bounds)+1)
+	for s := range h.shards {
+		sh := &h.shards[s]
+		for i := range sh.counts {
+			counts[i] += sh.counts[i].Load()
+		}
+		count += sh.count.Load()
+		sum += math.Float64frombits(sh.sum.Load())
+	}
+	// Concurrent observers bump the bucket before the total; make the
+	// rendered count consistent with the buckets.
+	var bucketTotal uint64
+	for _, c := range counts {
+		bucketTotal += c
+	}
+	count = bucketTotal
+	return counts, count, sum
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) by walking the
+// cumulative buckets and interpolating linearly within the bucket that
+// crosses the target rank. Values in the +Inf bucket clamp to the
+// largest finite bound. Returns 0 when the histogram is empty or nil.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	counts, total, _ := h.snapshot()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range counts {
+		prev := cum
+		cum += c
+		if float64(cum) < target {
+			continue
+		}
+		if i >= len(h.bounds) {
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		frac := (target - float64(prev)) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return h.bounds[len(h.bounds)-1]
+}

@@ -1,0 +1,53 @@
+package telemetry
+
+import "time"
+
+// Tracer records per-stage pipeline durations into one stage-labeled
+// histogram family. A nil *Tracer is the disabled state: Start returns
+// a zero Span and Observe is a no-op, both allocation-free, so the
+// pipeline threads a Tracer through unconditionally.
+type Tracer struct {
+	stages *HistogramVec
+}
+
+// NewTracer returns a tracer recording into the named histogram family
+// on r (nil r yields a nil, disabled tracer).
+func NewTracer(r *Registry, name, help string) *Tracer {
+	if r == nil {
+		return nil
+	}
+	return &Tracer{stages: r.HistogramVec(name, help, LatencyBuckets, "stage")}
+}
+
+// Span is one in-flight stage measurement. The zero Span is inert.
+type Span struct {
+	t     *Tracer
+	stage string
+	start time.Time
+}
+
+// Start opens a span for stage; call End on the returned value when
+// the stage completes. Nil-safe.
+func (t *Tracer) Start(stage string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, stage: stage, start: time.Now()}
+}
+
+// End records the elapsed time since Start into the stage histogram.
+func (s Span) End() {
+	if s.t != nil {
+		s.t.Observe(s.stage, time.Since(s.start))
+	}
+}
+
+// Observe records an already-measured stage duration (for stages whose
+// time is accumulated elsewhere, e.g. summed across shard workers).
+// Negative durations are dropped. Nil-safe.
+func (t *Tracer) Observe(stage string, d time.Duration) {
+	if t == nil || d < 0 {
+		return
+	}
+	t.stages.With(stage).Observe(d.Seconds())
+}

@@ -128,6 +128,21 @@ printf '%s' "$health_a" | grep -q '"leading":1' || { echo "FAIL: leader healthz:
 health_b=$(curl -fsS "$base_b/healthz")
 printf '%s' "$health_b" | grep -q '"mirroring":1' || { echo "FAIL: standby healthz: $health_b"; exit 1; }
 
+echo "== /metrics: leader histograms and standby replication-lag gauges"
+# Scrapes exceed a pipe buffer; `grep -q` under pipefail would SIGPIPE
+# the writer on an early match, so use plain grep (reads to EOF).
+metrics_a=$(curl -fsS "$base_a/metrics")
+[ -n "$metrics_a" ] || { echo "FAIL: leader /metrics empty"; exit 1; }
+printf '%s' "$metrics_a" | grep '^holoclean_reclean_seconds_count [1-9]' >/dev/null \
+  || { echo "FAIL: leader /metrics missing the reclean histogram"; exit 1; }
+printf '%s' "$health_a" | grep -q '"reclean_p50_ms":' \
+  || { echo "FAIL: leader /healthz missing reclean_p50_ms: $health_a"; exit 1; }
+metrics_b=$(curl -fsS "$base_b/metrics")
+printf '%s' "$metrics_b" | grep '^holoclean_replication_lag_ops{tenant=' >/dev/null \
+  || { echo "FAIL: standby /metrics missing replication lag gauges"; exit 1; }
+printf '%s' "$metrics_b" | grep '^holoclean_replication_lag_bytes{tenant=' >/dev/null \
+  || { echo "FAIL: standby /metrics missing replication byte-lag gauges"; exit 1; }
+
 echo "== writes to the standby redirect to the leader"
 redirect=$(curl -sS -o /dev/null -w '%{http_code} %{redirect_url}' \
   -X POST -H 'Content-Type: application/json' -d "$delta2" "$base_b/sessions/$id/deltas")

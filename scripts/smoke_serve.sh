@@ -83,6 +83,26 @@ applied=$(jget "$delta" applied)
 [ "$applied" = "2" ] || { echo "FAIL: delta applied=$applied: $delta"; exit 1; }
 echo "   reclean: shards=$(jget "$delta" shards) reused=$(jget "$delta" shards_reused)"
 
+echo "== /metrics carries the telemetry surface after a reclean"
+# The scrape is larger than a pipe buffer, so don't use `grep -q` on it:
+# under pipefail, grep's early exit would SIGPIPE the writer and fail the
+# pipeline even though the pattern matched. Plain grep reads to EOF.
+metrics=$(curl -fsS "$base/metrics")
+[ -n "$metrics" ] || { echo "FAIL: /metrics empty"; exit 1; }
+printf '%s' "$metrics" | grep '^holoclean_reclean_seconds_count 1$' >/dev/null \
+  || { echo "FAIL: /metrics missing the reclean histogram after a delta round"; exit 1; }
+printf '%s' "$metrics" | grep '^holoclean_pipeline_stage_seconds_bucket{stage="detect"' >/dev/null \
+  || { echo "FAIL: /metrics missing per-stage pipeline histograms"; exit 1; }
+printf '%s' "$metrics" | grep '^holoclean_http_request_seconds_bucket{endpoint=' >/dev/null \
+  || { echo "FAIL: /metrics missing request-latency histograms"; exit 1; }
+printf '%s' "$metrics" | grep '^holoclean_wal_fsync_seconds_count [1-9]' >/dev/null \
+  || { echo "FAIL: /metrics missing WAL fsync observations"; exit 1; }
+printf '%s' "$metrics" | grep '^holoclean_jobs_queued ' >/dev/null \
+  || { echo "FAIL: /metrics missing job-queue gauges"; exit 1; }
+health=$(curl -fsS "$base/healthz")
+printf '%s' "$health" | grep -q '"reclean_p50_ms":' || { echo "FAIL: /healthz missing reclean_p50_ms: $health"; exit 1; }
+printf '%s' "$health" | grep -q '"reclean_p99_ms":' || { echo "FAIL: /healthz missing reclean_p99_ms: $health"; exit 1; }
+
 echo "== review queue"
 review=$(curl -fsS "$base/sessions/$id/review?threshold=1.01&limit=1")
 total=$(jget "$review" total)
@@ -111,7 +131,7 @@ csv_rows=$(curl -fsS "$base/sessions/$id/dataset" | wc -l)
 
 echo "== pprof opens when -pprof is set"
 second_addr="127.0.0.1:${SMOKE_PORT2:-8099}"
-"$workdir/holocleand" -addr "$second_addr" -pprof "$pprof_addr" -max-jobs 1 -queue-depth 2 &
+"$workdir/holocleand" -addr "$second_addr" -pprof "$pprof_addr" -metrics=false -max-jobs 1 -queue-depth 2 &
 pprof_server_pid=$!
 pprof_up=""
 for _ in $(seq 1 50); do
@@ -131,5 +151,9 @@ done
 [ -n "$second_up" ] || { echo "FAIL: second server did not come up on $second_addr"; exit 1; }
 code=$(curl -s -o /dev/null -w '%{http_code}' "http://$second_addr/debug/pprof/" || true)
 [ "$code" = "404" ] || { echo "FAIL: /debug/pprof/ leaked onto the service address (got $code, want 404)"; exit 1; }
+
+echo "== /metrics answers 404 when telemetry is disabled (-metrics=false)"
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://$second_addr/metrics" || true)
+[ "$code" = "404" ] || { echo "FAIL: /metrics with -metrics=false returned $code, want 404"; exit 1; }
 
 echo "PASS: serve smoke ($repairs repairs initially, $frepairs after delta+feedback)"

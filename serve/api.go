@@ -61,9 +61,18 @@ type SessionStoreInfo struct {
 // RunStatsInfo is holoclean.RunStats with wall-clock durations in
 // milliseconds, the shape clients chart latency from.
 type RunStatsInfo struct {
-	NoisyCells      int `json:"noisy_cells"`
-	Variables       int `json:"variables"`
-	Factors         int `json:"factors"`
+	NoisyCells int `json:"noisy_cells"`
+	Variables  int `json:"variables"`
+	// QueryVars and EvidenceVars split Variables into the unknowns
+	// inference solves for and the clean cells pinned as evidence.
+	QueryVars    int `json:"query_vars"`
+	EvidenceVars int `json:"evidence_vars"`
+	Factors      int `json:"factors"`
+	// PaperFactors counts factors before the repeated-feature folding,
+	// the figure comparable to the paper's model sizes.
+	PaperFactors int64 `json:"paper_factors"`
+	// Weights is the number of distinct learned weights in the model.
+	Weights         int `json:"weights"`
 	Shards          int `json:"shards"`
 	SingletonShards int `json:"singleton_shards"`
 	ShardsReused    int `json:"shards_reused"`
@@ -78,11 +87,17 @@ type RunStatsInfo struct {
 	// largest component — the skew gauge operators watch to decide
 	// whether a tenant needs MaxComponentCells / IntraWorkers.
 	LargestComponentFrac float64 `json:"largest_component_frac,omitempty"`
-	DetectMS             float64 `json:"detect_ms"`
-	CompileMS            float64 `json:"compile_ms"`
-	LearnMS              float64 `json:"learn_ms"`
-	InferMS              float64 `json:"infer_ms"`
-	TotalMS              float64 `json:"total_ms"`
+	// AllocBytes/AllocObjects are the run's cumulative heap allocation
+	// deltas and PeakHeapBytes the sampled live-heap watermark — see
+	// holoclean.RunStats for the process-wide caveats.
+	AllocBytes    uint64  `json:"alloc_bytes"`
+	AllocObjects  uint64  `json:"alloc_objects"`
+	PeakHeapBytes uint64  `json:"peak_heap_bytes"`
+	DetectMS      float64 `json:"detect_ms"`
+	CompileMS     float64 `json:"compile_ms"`
+	LearnMS       float64 `json:"learn_ms"`
+	InferMS       float64 `json:"infer_ms"`
+	TotalMS       float64 `json:"total_ms"`
 }
 
 func runStatsInfo(s holoclean.RunStats) *RunStatsInfo {
@@ -90,13 +105,20 @@ func runStatsInfo(s holoclean.RunStats) *RunStatsInfo {
 	return &RunStatsInfo{
 		NoisyCells:           s.NoisyCells,
 		Variables:            s.Variables,
+		QueryVars:            s.QueryVars,
+		EvidenceVars:         s.EvidenceVars,
 		Factors:              s.Factors,
+		PaperFactors:         s.PaperFactors,
+		Weights:              s.Weights,
 		Shards:               s.Shards,
 		SingletonShards:      s.SingletonShards,
 		ShardsReused:         s.ShardsReused,
 		SplitShards:          s.SplitShards,
 		ComponentSizeHist:    s.ComponentSizeHist,
 		LargestComponentFrac: s.LargestComponentFrac,
+		AllocBytes:           s.AllocBytes,
+		AllocObjects:         s.AllocObjects,
+		PeakHeapBytes:        s.PeakHeapBytes,
 		DetectMS:             ms(s.DetectTime),
 		CompileMS:            ms(s.CompileTime),
 		LearnMS:              ms(s.LearnTime),
@@ -265,6 +287,12 @@ type HealthResponse struct {
 	// near 1 means some tenant's inference is dominated by one giant
 	// conflict component (see RunStatsInfo.LargestComponentFrac).
 	MaxComponentFrac float64 `json:"max_component_frac,omitempty"`
+	// RecleanP50MS and RecleanP99MS summarize end-to-end reclean
+	// latency (deltas + feedback, all tenants) from the telemetry
+	// histograms; absent when telemetry is off or nothing has been
+	// recleaned yet. The full distribution is on /metrics.
+	RecleanP50MS float64 `json:"reclean_p50_ms,omitempty"`
+	RecleanP99MS float64 `json:"reclean_p99_ms,omitempty"`
 	// Store aggregates the durable store's gauges; absent without one.
 	Store *StoreHealth `json:"store,omitempty"`
 	// Cluster reports this node's replication state; absent outside

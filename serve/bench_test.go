@@ -16,6 +16,7 @@ import (
 	"holoclean/internal/cluster"
 	"holoclean/internal/datagen"
 	"holoclean/internal/store"
+	"holoclean/internal/telemetry"
 )
 
 // BenchmarkServeReclean measures request→response latency of one
@@ -26,6 +27,21 @@ import (
 // round trip, session locking and the job queue included.
 func BenchmarkServeReclean(b *testing.B) {
 	benchServeReclean(b, Config{Workers: 1, MaxConcurrentJobs: 1, QueueDepth: 4})
+}
+
+// BenchmarkServeRecleanTelemetry is BenchmarkServeReclean with the
+// telemetry registry enabled: every request is timed and classified,
+// every pipeline stage records a span, and the reclean histograms
+// observe each round. The delta vs BenchmarkServeReclean is the
+// telemetry overhead on the hot serving path — tracked in CI via
+// BENCH_serve.json with a <5% ns/op target (the histograms are
+// sharded atomics, so contention never serializes the pipeline).
+func BenchmarkServeRecleanTelemetry(b *testing.B) {
+	b.ReportAllocs()
+	benchServeReclean(b, Config{
+		Workers: 1, MaxConcurrentJobs: 1, QueueDepth: 4,
+		Telemetry: telemetry.NewRegistry(),
+	})
 }
 
 // BenchmarkServeRecleanDurable is the same request path with the

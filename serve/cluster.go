@@ -154,15 +154,16 @@ func (sv *Server) startShippers() {
 		}
 		leader := peer
 		sh, err := cluster.NewShipper(cluster.ShipperConfig{
-			Leader:   leader,
-			Self:     sv.cfg.Self,
-			Store:    sv.store,
-			Filter:   func(id string) bool { return sv.shouldMirror(id, leader) },
-			Apply:    sv.replicaApply,
-			Remove:   sv.removeReplica,
-			Interval: sv.cfg.ShipInterval,
-			WaitMS:   sv.cfg.ShipWaitMS,
-			Logf:     sv.cfg.Logf,
+			Leader:     leader,
+			Self:       sv.cfg.Self,
+			Store:      sv.store,
+			Filter:     func(id string) bool { return sv.shouldMirror(id, leader) },
+			Apply:      sv.replicaApply,
+			Remove:     sv.removeReplica,
+			ObserveLag: sv.tel.setLag,
+			Interval:   sv.cfg.ShipInterval,
+			WaitMS:     sv.cfg.ShipWaitMS,
+			Logf:       sv.cfg.Logf,
 		})
 		if err != nil {
 			sv.logf("serve: shipper for %s: %v", leader, err)

@@ -48,6 +48,7 @@ import (
 	"holoclean"
 	"holoclean/internal/cluster"
 	"holoclean/internal/store"
+	"holoclean/internal/telemetry"
 )
 
 // Config tunes the server. The zero value is usable: defaults are filled
@@ -124,6 +125,13 @@ type Config struct {
 	ShipWaitMS int
 	// Logf receives operational log lines; nil silences them.
 	Logf func(format string, args ...any)
+	// Telemetry, when non-nil, enables the metrics surface: the
+	// registry collects request latency, job-queue, per-stage pipeline,
+	// WAL, and replication-lag series, and GET /metrics serves them in
+	// Prometheus text format. Nil (the default) disables telemetry
+	// entirely — /metrics 404s and every record point is an
+	// allocation-free no-op.
+	Telemetry *telemetry.Registry
 }
 
 // Server is the HTTP serving layer. Create one with New; it implements
@@ -141,6 +149,7 @@ type Server struct {
 	draining atomic.Bool
 	stop     chan struct{}
 	stopOnce sync.Once
+	tel      *serverMetrics // nil when Config.Telemetry is unset
 
 	// Cluster mode (nil/empty outside it): the placement ring, one WAL
 	// shipper per other peer, the route-override map consulted before
@@ -191,6 +200,9 @@ func New(cfg Config) (*Server, error) {
 		sem:      make(chan struct{}, cfg.MaxConcurrentJobs),
 		stop:     make(chan struct{}),
 	}
+	if cfg.Telemetry != nil {
+		sv.tel = newServerMetrics(cfg.Telemetry, sv)
+	}
 	sv.routes()
 	if len(cfg.Peers) > 0 {
 		// The ring must exist before the store is recovered, so boot can
@@ -205,6 +217,9 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		sv.store = st
+		if sv.tel != nil {
+			st.SetMetrics(sv.tel.storeMetrics())
+		}
 		sv.loadStore()
 		go sv.compactor(sv.stop)
 	} else if cfg.SnapshotDir != "" {
@@ -298,6 +313,7 @@ func (sv *Server) sessionOptions() holoclean.Options {
 	}
 	o.Workers = sv.cfg.Workers
 	o.IntraWorkers = sv.cfg.IntraWorkers
+	o.Tracer = sv.tel.tracer()
 	return o
 }
 
@@ -321,6 +337,11 @@ func (sv *Server) optionsFor(ov overrides) holoclean.Options {
 func (sv *Server) routes() {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", sv.handleHealth)
+	if sv.tel != nil {
+		// Routed only when telemetry is on: a disabled server answers
+		// /metrics with the mux's plain 404.
+		mux.HandleFunc("GET /metrics", sv.handleMetrics)
+	}
 	mux.HandleFunc("POST /sessions", sv.handleCreate)
 	mux.HandleFunc("GET /sessions", sv.handleList)
 	mux.HandleFunc("GET /sessions/{id}", sv.handleStatus)
@@ -348,7 +369,20 @@ func (sv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Body != nil {
 		r.Body = http.MaxBytesReader(w, r.Body, sv.cfg.MaxUploadBytes)
 	}
-	sv.mux.ServeHTTP(w, r)
+	if sv.tel == nil {
+		sv.mux.ServeHTTP(w, r)
+		return
+	}
+	start := time.Now()
+	rec := statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	sv.mux.ServeHTTP(&rec, r)
+	// r.Pattern is the matched route after dispatch — a bounded label
+	// set (the route table), never the raw path.
+	endpoint := r.Pattern
+	if endpoint == "" {
+		endpoint = "unmatched"
+	}
+	sv.tel.observeRequest(endpoint, rec.status, time.Since(start))
 }
 
 // --- response helpers ---
@@ -365,6 +399,7 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 
 // writeBusy is the backpressure response: the bounded job queue is full.
 func (sv *Server) writeBusy(w http.ResponseWriter) {
+	sv.tel.rejected()
 	w.Header().Set("Retry-After", strconv.Itoa(sv.retryAfterSeconds()))
 	writeError(w, http.StatusTooManyRequests, "job queue full, retry later")
 }
@@ -411,6 +446,8 @@ func (sv *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	sv.mu.Unlock()
 	resp := HealthResponse{OK: true, Sessions: n, Queued: int(sv.queued.Load()), Draining: sv.draining.Load()}
+	resp.RecleanP50MS = sv.tel.recleanQuantileMS(0.50)
+	resp.RecleanP99MS = sv.tel.recleanQuantileMS(0.99)
 	resp.Cluster = sv.clusterHealth(tenants)
 	for _, t := range tenants {
 		t.resMu.RLock()
@@ -863,11 +900,13 @@ func (sv *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	tRun := time.Now()
 	res, err := s.Reclean()
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "reclean: %v", err)
 		return
 	}
+	sv.tel.observeReclean(t.id, time.Since(tRun), res.Stats.ShardsReused)
 	if err := t.setResult(res); err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
@@ -938,6 +977,7 @@ func (sv *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	relearned := sv.relearnDue(t)
+	tRun := time.Now()
 	res, err := t.session.Feedback(fb)
 	if err != nil {
 		// Validation failures (out of range, empty value, duplicate
@@ -952,6 +992,7 @@ func (sv *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	sv.tel.observeReclean(t.id, time.Since(tRun), res.Stats.ShardsReused)
 	if err := t.setResult(res); err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return

@@ -157,6 +157,8 @@ func (sv *Server) buildEnvelope(t *tenant) (*serverSnapshot, error) {
 // checkpointLocked appends a checkpoint record for t's live session.
 // Call with t.mu held and the session quiescent.
 func (sv *Server) checkpointLocked(t *tenant) error {
+	sp := sv.tel.span("checkpoint")
+	defer sp.End()
 	env, err := sv.buildEnvelope(t)
 	if err != nil {
 		return err

@@ -312,7 +312,9 @@ func (s *Session) Reclean() (*Result, error) {
 	for a := range prevQuasi {
 		prevQuasi[a] = s.st.DistinctValues(a)*4 > s.prevN
 	}
+	spStats := cl.opts.Tracer.Start("stats")
 	stDelta, maskedDelta := s.applyStatDeltas(changed, maskChanged, newNoisy)
+	spStats.End()
 
 	// --- Compile: full pruning over the new noisy set, statistics and
 	// detection injected, no evidence sampling (weights are reused). ---
